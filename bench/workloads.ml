@@ -1,0 +1,481 @@
+(* Workloads regenerating every table and figure of the paper's
+   evaluation.  Each experiment builds a fresh simulated 1985 testbed —
+   VAX-class CPUs (Table 4.2 syscall costs) on a 10 Mb/s Ethernet-like
+   network — mirroring the six VAX-11/750s the measurements ran on. *)
+
+open Circus_sim
+open Circus_net
+open Circus_rpc
+open Circus_txn
+module Analysis = Circus_analysis.Analysis
+module Codec = Circus_wire.Codec
+
+let payload_bytes = 64
+
+type cpu_row = {
+  label : string;
+  real_ms : float;  (* per call *)
+  total_cpu_ms : float;
+  user_cpu_ms : float;
+  kernel_cpu_ms : float;
+  profile : (string * float * int) list;  (* syscall, cpu seconds, calls *)
+}
+
+let ms x = 1000.0 *. x
+
+let testbed ?(seed = 1985) () =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine () in
+  let env = Syscall.make net () in
+  (engine, net, env)
+
+(* ------------------------------------------------------------------ *)
+(* Table 4.1 rows *)
+
+(* The UDP echo test of Figure 4.5. *)
+let udp_row ?(iterations = 200) () =
+  let engine, net, env = testbed () in
+  let server = Net.add_host net ~name:"server" () in
+  let client_host = Net.add_host net ~name:"client" () in
+  Circus_pairmsg.Udp_echo.start_server env server ~port:7;
+  let meter = Meter.create () in
+  let elapsed = ref 0.0 in
+  ignore
+    (Host.spawn client_host (fun () ->
+         let c =
+           Circus_pairmsg.Udp_echo.client env client_host
+             ~dst:(Addr.make ~host:(Host.id server) ~port:7)
+             ~meter ()
+         in
+         let body = Bytes.create payload_bytes in
+         (* warm-up *)
+         for _ = 1 to 5 do
+           ignore (Circus_pairmsg.Udp_echo.echo c body)
+         done;
+         Meter.reset meter;
+         let t0 = Engine.now engine in
+         for _ = 1 to iterations do
+           ignore (Circus_pairmsg.Udp_echo.echo c body)
+         done;
+         elapsed := Engine.now engine -. t0));
+  Engine.run engine;
+  let per = float_of_int iterations in
+  { label = "(UDP)";
+    real_ms = ms (!elapsed /. per);
+    total_cpu_ms = ms (Meter.total meter /. per);
+    user_cpu_ms = ms (Meter.user meter /. per);
+    kernel_cpu_ms = ms (Meter.kernel meter /. per);
+    profile = Meter.by_syscall meter }
+
+(* The TCP echo test of Figure 4.6. *)
+let tcp_row ?(iterations = 200) () =
+  let engine, net, env = testbed () in
+  let server = Net.add_host net ~name:"server" () in
+  let client_host = Net.add_host net ~name:"client" () in
+  let listener = Circus_pairmsg.Stream.listen env server ~port:9 in
+  ignore
+    (Host.spawn server (fun () ->
+         let conn = Circus_pairmsg.Stream.accept listener in
+         let rec loop () =
+           match Circus_pairmsg.Stream.recv conn with
+           | Some body ->
+             Circus_pairmsg.Stream.send conn body;
+             loop ()
+           | None -> ()
+         in
+         loop ()));
+  let meter = Meter.create () in
+  let elapsed = ref 0.0 in
+  ignore
+    (Host.spawn client_host (fun () ->
+         let conn =
+           Circus_pairmsg.Stream.connect env client_host
+             ~dst:(Addr.make ~host:(Host.id server) ~port:9)
+             ()
+         in
+         Circus_pairmsg.Stream.set_meter conn meter;
+         let body = Bytes.create payload_bytes in
+         let echo () =
+           Circus_pairmsg.Stream.send conn body;
+           ignore (Circus_pairmsg.Stream.recv ~timeout:5.0 conn)
+         in
+         for _ = 1 to 5 do
+           echo ()
+         done;
+         Meter.reset meter;
+         let t0 = Engine.now engine in
+         for _ = 1 to iterations do
+           echo ()
+         done;
+         elapsed := Engine.now engine -. t0));
+  Engine.run engine;
+  let per = float_of_int iterations in
+  { label = "(TCP)";
+    real_ms = ms (!elapsed /. per);
+    total_cpu_ms = ms (Meter.total meter /. per);
+    user_cpu_ms = ms (Meter.user meter /. per);
+    kernel_cpu_ms = ms (Meter.kernel meter /. per);
+    profile = Meter.by_syscall meter }
+
+(* A Circus replicated procedure call to a troupe of [n] echo servers
+   (the rpctest client and server of Figure 4.7). *)
+let circus_row ?(iterations = 60) ?(multicast = false) ~n () =
+  let engine, net, env = testbed () in
+  let members =
+    List.init n (fun i ->
+        let h = Net.add_host net ~name:(Printf.sprintf "server%d" i) () in
+        let rt = Runtime.create env h ~port:50 () in
+        let module_no = Runtime.export rt (fun _ctx ~proc_no:_ body -> body) in
+        Runtime.module_addr rt module_no)
+  in
+  let troupe = Troupe.make ~id:42L ~members in
+  List.iteri
+    (fun i _ ->
+      let rt_host = Net.host net i in
+      ignore rt_host)
+    members;
+  let client_host = Net.add_host net ~name:"client" () in
+  let meter = Meter.create () in
+  let client_rt = Runtime.create env client_host ~meter () in
+  let elapsed = ref 0.0 in
+  ignore
+    (Runtime.spawn_thread client_rt (fun ctx ->
+         let body = Bytes.create payload_bytes in
+         for _ = 1 to 3 do
+           ignore (Runtime.call_troupe ctx troupe ~proc_no:0 ~multicast body)
+         done;
+         Meter.reset meter;
+         let t0 = Engine.now engine in
+         for _ = 1 to iterations do
+           ignore (Runtime.call_troupe ctx troupe ~proc_no:0 ~multicast body)
+         done;
+         elapsed := Engine.now engine -. t0));
+  Engine.run engine;
+  let per = float_of_int iterations in
+  { label = string_of_int n;
+    real_ms = ms (!elapsed /. per);
+    total_cpu_ms = ms (Meter.total meter /. per);
+    user_cpu_ms = ms (Meter.user meter /. per);
+    kernel_cpu_ms = ms (Meter.kernel meter /. per);
+    profile = Meter.by_syscall meter }
+
+let table_4_1 ?iterations () =
+  let circus = List.init 5 (fun i -> circus_row ?iterations ~n:(i + 1) ()) in
+  (udp_row ?iterations () :: tcp_row ?iterations () :: circus, circus)
+
+(* Table 4.2: measure each system call once under a meter. *)
+let table_4_2 () =
+  let engine, net, env = testbed () in
+  let h = Net.add_host net () in
+  let peer = Net.add_host net () in
+  let sock = Net.udp_bind net h ~port:1 () in
+  let peer_sock = Net.udp_bind net peer ~port:2 () in
+  ignore peer_sock;
+  let results = ref [] in
+  let measure name f =
+    let meter = Meter.create () in
+    ignore
+      (Host.spawn h (fun () ->
+           f meter;
+           results := (name, ms (Meter.kernel meter)) :: !results))
+  in
+  measure "sendmsg" (fun m ->
+      Syscall.sendmsg env ~meter:m sock ~dst:(Net.socket_addr peer_sock) (Bytes.create 8));
+  measure "select" (fun m -> ignore (Syscall.select env ~meter:m ~timeout:0.001 [ sock ]));
+  measure "setitimer" (fun m -> Syscall.setitimer env ~meter:m h);
+  measure "gettimeofday" (fun m -> ignore (Syscall.gettimeofday env ~meter:m h));
+  measure "sigblock" (fun m -> Syscall.sigblock env ~meter:m h);
+  (* recvmsg needs a datagram waiting. *)
+  let recv_meter = Meter.create () in
+  ignore
+    (Host.spawn peer (fun () ->
+         Syscall.sendmsg env peer_sock ~dst:(Net.socket_addr sock) (Bytes.create 8)));
+  ignore
+    (Host.spawn h (fun () ->
+         Fiber.sleep 0.1;
+         ignore (Syscall.recvmsg env ~meter:recv_meter ~timeout:1.0 sock);
+         results := ("recvmsg", ms (Meter.kernel recv_meter)) :: !results));
+  Engine.run engine;
+  List.rev !results
+
+(* ------------------------------------------------------------------ *)
+(* §4.4.2: expected maximum of exponential round trips *)
+
+let theorem_4_3 ?(trials = 50_000) ?(mean = 0.025) () =
+  let prng = Prng.create 443 in
+  List.map
+    (fun n ->
+      let expected = Analysis.expected_max_exponential ~n ~mean in
+      let measured = Analysis.monte_carlo_max_exponential prng ~n ~mean ~trials in
+      (n, ms expected, ms measured))
+    [ 1; 2; 3; 4; 5; 8; 12; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Eq. 5.1: troupe commit deadlock probability *)
+
+let eq_5_1 ?(trials = 40_000) () =
+  let prng = Prng.create 51 in
+  List.concat_map
+    (fun members ->
+      List.map
+        (fun conflicts ->
+          let formula = Analysis.deadlock_probability ~members ~conflicts in
+          let measured = Analysis.monte_carlo_deadlock prng ~members ~conflicts ~trials in
+          (members, conflicts, formula, measured))
+        [ 1; 2; 3; 4 ])
+    [ 2; 3; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5.1: ordered broadcast *)
+
+type broadcast_result = {
+  members : int;
+  broadcasters : int;
+  messages : int;
+  identical_order : bool;
+  mean_latency_ms : float;
+}
+
+let ordered_broadcast_run ?(members = 3) ?(broadcasters = 4) ?(each = 6) () =
+  let engine = Engine.create ~seed:55 () in
+  let net = Net.create engine () in
+  let env = Syscall.make net ~costs:Syscall.fast_costs () in
+  let logs = Array.make members [] in
+  let member_addrs =
+    List.init members (fun i ->
+        let h = Net.add_host net ~clock_offset:(0.002 *. float_of_int i) () in
+        let rt = Runtime.create env h ~port:50 () in
+        let ob =
+          Ordered_broadcast.create h ~deliver:(fun body ->
+              logs.(i) <- Bytes.to_string body :: logs.(i))
+        in
+        let module_no = Ordered_broadcast.export rt ob in
+        Runtime.module_addr rt module_no)
+  in
+  let troupe = Troupe.make ~id:600L ~members:member_addrs in
+  let latencies = ref [] in
+  List.iter
+    (fun b ->
+      let rt = Runtime.create env (Net.add_host net ()) () in
+      ignore
+        (Runtime.spawn_thread rt (fun ctx ->
+             for k = 1 to each do
+               let t0 = Engine.now engine in
+               Ordered_broadcast.atomic_broadcast ctx troupe
+                 (Bytes.of_string (Printf.sprintf "m%d.%d" b k));
+               latencies := (Engine.now engine -. t0) :: !latencies;
+               Fiber.sleep 0.003
+             done)))
+    (List.init broadcasters Fun.id);
+  Engine.run engine;
+  let sequences = Array.to_list (Array.map List.rev logs) in
+  let identical_order =
+    match sequences with
+    | first :: rest ->
+      List.length first = broadcasters * each && List.for_all (fun s -> s = first) rest
+    | [] -> false
+  in
+  let mean_latency =
+    List.fold_left ( +. ) 0.0 !latencies /. float_of_int (List.length !latencies)
+  in
+  { members;
+    broadcasters;
+    messages = broadcasters * each;
+    identical_order;
+    mean_latency_ms = ms mean_latency }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6.3 / Eq. 6.1 / Eq. 6.2: troupe availability *)
+
+let availability_rows ?(horizon = 2_000_000.0) () =
+  let prng = Prng.create 63 in
+  let lifetime = 1000.0 and repair = 100.0 in
+  List.map
+    (fun n ->
+      let analytic =
+        Analysis.availability ~n ~failure_rate:(1.0 /. lifetime) ~repair_rate:(1.0 /. repair)
+      in
+      let simulated =
+        Analysis.simulate_availability prng ~n ~failure_rate:(1.0 /. lifetime)
+          ~repair_rate:(1.0 /. repair) ~horizon
+      in
+      (n, analytic, simulated))
+    [ 1; 2; 3; 4; 5 ]
+
+let replacement_time_examples () =
+  let lifetime = 3600.0 in
+  List.map
+    (fun n ->
+      (n, Analysis.required_repair_time ~n ~availability:0.999 ~lifetime))
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: client waiting policies with a slow troupe member (§4.3.4) *)
+
+type policy_row = { policy_name : string; mean_latency_ms_p : float }
+
+let waiting_policy_ablation ?(iterations = 30) ?(slowdown = 0.05) () =
+  let run collator_name collator =
+    let engine, net, env = testbed () in
+    let members =
+      List.init 3 (fun i ->
+          let h = Net.add_host net () in
+          let rt = Runtime.create env h ~port:50 () in
+          let module_no =
+            Runtime.export rt (fun _ctx ~proc_no:_ body ->
+                (* member 2 is chronically slow *)
+                if i = 2 then Fiber.sleep slowdown;
+                body)
+          in
+          Runtime.module_addr rt module_no)
+    in
+    let troupe = Troupe.make ~id:9L ~members in
+    let client = Runtime.create env (Net.add_host net ()) () in
+    let elapsed = ref 0.0 in
+    ignore
+      (Runtime.spawn_thread client (fun ctx ->
+           let body = Bytes.create payload_bytes in
+           ignore (Runtime.call_troupe ctx troupe ~proc_no:0 ~collator body);
+           let t0 = Engine.now engine in
+           for _ = 1 to iterations do
+             ignore (Runtime.call_troupe ctx troupe ~proc_no:0 ~collator body)
+           done;
+           elapsed := Engine.now engine -. t0));
+    Engine.run engine;
+    { policy_name = collator_name; mean_latency_ms_p = ms (!elapsed /. float_of_int iterations) }
+  in
+  [ run "unanimous (§4.3.4 default)" Collator.unanimous;
+    run "majority" Collator.majority;
+    run "first-come" Collator.first_come ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: troupe commit protocol vs ordered broadcast under
+   conflict — the module-by-module synchronization choice of §5.5. *)
+
+type cc_row = {
+  cc_name : string;
+  cc_clients : int;
+  cc_makespan_s : float;
+  cc_attempts_per_commit : float;  (* 1.0 = no aborts; nan for ordered broadcast *)
+  cc_consistent : bool;
+}
+
+let commit_conflict_run ?(members = 2) ~clients () =
+  let engine = Engine.create ~seed:(500 + clients) () in
+  let net = Net.create engine () in
+  let env = Syscall.make net ~costs:Syscall.fast_costs () in
+  let troupe_id = 77L in
+  let stores = Array.init members (fun _ -> Lightweight.create engine) in
+  let member_addrs_ref = ref [] in
+  let troupe_members =
+    List.init members (fun i ->
+        let h = Net.add_host net () in
+        let rt = Runtime.create env h ~port:50 () in
+        Runtime.set_self_troupe rt troupe_id;
+        let store = stores.(i) in
+        let module_no =
+          Runtime.export rt (fun ctx ~proc_no:_ body ->
+              let coordinator = Codec.decode Troupe.codec body in
+              (* every transaction updates the same hot key *)
+              Commit.run ctx ~store ~coordinator ~max_attempts:50 (fun txn ->
+                  let v =
+                    match Lightweight.get store txn "hot" with
+                    | Some b -> int_of_string (Bytes.to_string b)
+                    | None -> 0
+                  in
+                  Lightweight.set store txn "hot"
+                    (Some (Bytes.of_string (string_of_int (v + 1))));
+                  Bytes.empty))
+        in
+        (rt, Runtime.module_addr rt module_no))
+  in
+  let teller_rt =
+    Runtime.create env (Net.add_host net ())
+      ~config:{ Runtime.straggler_timeout = 1.0; retention = 30.0 } ()
+  in
+  member_addrs_ref := List.map (fun (rt, _) -> Runtime.addr rt) troupe_members;
+  Runtime.set_resolver teller_rt (fun id ->
+      if Ids.Troupe_id.equal id troupe_id then Some !member_addrs_ref else None);
+  let troupe = Troupe.make ~id:troupe_id ~members:(List.map snd troupe_members) in
+  let coordinator_mod = Commit.export_coordinator teller_rt () in
+  let coordinator = Troupe.singleton (Runtime.module_addr teller_rt coordinator_mod) in
+  let payload = Codec.encode Troupe.codec coordinator in
+  let committed = ref 0 in
+  let finished_at = ref 0.0 in
+  for _ = 1 to clients do
+    ignore
+      (Runtime.spawn_thread teller_rt (fun ctx ->
+           ignore (Runtime.call_troupe ctx troupe ~proc_no:0 payload);
+           incr committed;
+           finished_at := Float.max !finished_at (Engine.now engine)))
+  done;
+  Engine.run engine;
+  let final i =
+    match Lightweight.read_committed stores.(i) "hot" with
+    | Some b -> int_of_string (Bytes.to_string b)
+    | None -> 0
+  in
+  let consistent =
+    !committed = clients
+    && Array.for_all (fun s -> ignore s; true) stores
+    && List.for_all (fun i -> final i = clients) (List.init members Fun.id)
+  in
+  (* each attempt executes the body once at each member: attempts =
+     total increments tried; the committed value counts successes, and
+     aborted attempts were undone, so we recover the attempt count from
+     the per-member transaction ids consumed. *)
+  let attempts =
+    (* begin_txn allocates sequential ids; id count = attempts at that member *)
+    let txn = Lightweight.begin_txn stores.(0) in
+    let n = Lightweight.txn_id txn - 1 in
+    Lightweight.abort stores.(0) txn;
+    float_of_int n /. float_of_int (max 1 clients)
+  in
+  { cc_name = "troupe commit (§5.3)";
+    cc_clients = clients;
+    cc_makespan_s = !finished_at;
+    cc_attempts_per_commit = attempts;
+    cc_consistent = consistent }
+
+let ordered_broadcast_counter_run ?(members = 2) ~clients () =
+  let engine = Engine.create ~seed:(900 + clients) () in
+  let net = Net.create engine () in
+  let env = Syscall.make net ~costs:Syscall.fast_costs () in
+  let counters = Array.make members 0 in
+  let member_addrs =
+    List.init members (fun i ->
+        let h = Net.add_host net ~clock_offset:(0.001 *. float_of_int i) () in
+        let rt = Runtime.create env h ~port:50 () in
+        let ob =
+          Ordered_broadcast.create h ~deliver:(fun _ -> counters.(i) <- counters.(i) + 1)
+        in
+        let module_no = Ordered_broadcast.export rt ob in
+        Runtime.module_addr rt module_no)
+  in
+  let troupe = Troupe.make ~id:88L ~members:member_addrs in
+  let done_count = ref 0 in
+  let finished_at = ref 0.0 in
+  for k = 1 to clients do
+    let rt = Runtime.create env (Net.add_host net ()) () in
+    ignore
+      (Runtime.spawn_thread rt (fun ctx ->
+           Ordered_broadcast.atomic_broadcast ctx troupe
+             (Bytes.of_string (string_of_int k));
+           incr done_count;
+           finished_at := Float.max !finished_at (Engine.now engine)))
+  done;
+  Engine.run engine;
+  let consistent =
+    !done_count = clients && Array.for_all (fun c -> c = clients) counters
+  in
+  { cc_name = "ordered broadcast (§5.4)";
+    cc_clients = clients;
+    cc_makespan_s = !finished_at;
+    cc_attempts_per_commit = nan;
+    cc_consistent = consistent }
+
+let concurrency_control_ablation () =
+  List.concat_map
+    (fun clients ->
+      [ commit_conflict_run ~clients (); ordered_broadcast_counter_run ~clients () ])
+    [ 1; 2; 4 ]

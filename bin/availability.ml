@@ -1,0 +1,52 @@
+(* Troupe availability planning (§6.4.2): Eq. 6.1 forward, Eq. 6.2
+   backward, and the birth-death state distribution. *)
+
+open Cmdliner
+module Analysis = Circus_analysis.Analysis
+
+let forward n lifetime repair =
+  let a = Analysis.availability ~n ~failure_rate:(1.0 /. lifetime) ~repair_rate:(1.0 /. repair) in
+  Printf.printf "troupe of %d, member lifetime %.1f s, replacement time %.1f s\n" n lifetime repair;
+  Printf.printf "availability (Eq. 6.1): %.6f%%\n" (100.0 *. a);
+  Printf.printf "state distribution (k failed -> probability):\n";
+  for k = 0 to n do
+    Printf.printf "  %d  %.6f\n" k
+      (Analysis.state_probability ~n ~k ~failure_rate:(1.0 /. lifetime)
+         ~repair_rate:(1.0 /. repair))
+  done
+
+let backward n lifetime target =
+  let repair = Analysis.required_repair_time ~n ~availability:target ~lifetime in
+  Printf.printf
+    "to make a troupe of %d with member lifetime %.1f s available %.4f%% of the time,\n" n
+    lifetime (100.0 *. target);
+  Printf.printf "replace failed members within %.1f s on average (Eq. 6.2)\n" repair
+
+let run n lifetime repair target =
+  match (repair, target) with
+  | Some r, None ->
+    forward n lifetime r;
+    0
+  | None, Some t ->
+    if t <= 0.0 || t >= 1.0 then begin
+      prerr_endline "availability target must be strictly between 0 and 1";
+      1
+    end
+    else begin
+      backward n lifetime t;
+      0
+    end
+  | _ ->
+    prerr_endline "give exactly one of --repair (forward) or --target (backward)";
+    1
+
+let n = Arg.(value & opt int 3 & info [ "n"; "members" ] ~doc:"Troupe size.")
+let lifetime = Arg.(value & opt float 3600.0 & info [ "lifetime" ] ~doc:"Mean member lifetime, seconds.")
+let repair = Arg.(value & opt (some float) None & info [ "repair" ] ~doc:"Mean replacement time, seconds.")
+let target = Arg.(value & opt (some float) None & info [ "target" ] ~doc:"Availability target in (0,1).")
+
+let cmd =
+  let doc = "troupe availability calculator (birth-death model, Figure 6.3)" in
+  Cmd.v (Cmd.info "availability" ~doc) Term.(const run $ n $ lifetime $ repair $ target)
+
+let () = exit (Cmd.eval' cmd)

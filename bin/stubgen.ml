@@ -1,0 +1,64 @@
+(* The stub compiler (chapter 7): Courier-like interface declarations
+   in, OCaml client and server stubs out. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_output path contents =
+  match path with
+  | None -> print_string contents
+  | Some path ->
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let run input output check_only =
+  try
+    let program = Circus_idl.Parser.parse (read_file input) in
+    Circus_idl.Check.check program;
+    if check_only then begin
+      Printf.printf "%s: program %d version %d: %d types, %d errors, %d procedures\n"
+        program.Circus_idl.Ast.program_name program.Circus_idl.Ast.program_no
+        program.Circus_idl.Ast.version
+        (List.length (Circus_idl.Ast.types program))
+        (List.length (Circus_idl.Ast.errors program))
+        (List.length (Circus_idl.Ast.procs program));
+      0
+    end
+    else begin
+      write_output output (Circus_idl.Codegen.generate program);
+      0
+    end
+  with
+  | Circus_idl.Lexer.Lex_error { line; message } ->
+    Printf.eprintf "%s:%d: lexical error: %s\n" input line message;
+    1
+  | Circus_idl.Parser.Parse_error { line; message } ->
+    Printf.eprintf "%s:%d: syntax error: %s\n" input line message;
+    1
+  | Circus_idl.Check.Check_error message ->
+    Printf.eprintf "%s: %s\n" input message;
+    1
+  | Sys_error message ->
+    Printf.eprintf "%s\n" message;
+    1
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INTERFACE" ~doc:"Interface source file.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the generated OCaml module to $(docv) (default: stdout).")
+
+let check_only =
+  Arg.(value & flag & info [ "check" ] ~doc:"Parse and check only; print a summary.")
+
+let cmd =
+  let doc = "compile Courier-like interface declarations to OCaml stubs" in
+  Cmd.v (Cmd.info "stubgen" ~doc) Term.(const run $ input $ output $ check_only)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,138 @@
+(* Replicated transactions (chapter 5): a bank whose accounts live in a
+   troupe of three replicas, with concurrent conflicting transfers
+   synchronized by the troupe commit protocol (§5.3).
+
+   Each teller thread runs transfers against the whole troupe; each
+   member executes the transaction under local two-phase locking and
+   calls ready_to_commit back at the teller's coordinator; divergent
+   serialization orders become deadlocks, which the coordinator timeout
+   turns into aborts, retried under binary exponential back-off
+   (§5.3.1).  At the end, every replica holds identical balances and
+   money is conserved.
+
+   Run with: dune exec examples/bank.exe *)
+
+open Circus_rpc
+open Circus_txn
+open Circus
+module Codec = Circus_wire.Codec
+
+let n_members = 3
+let accounts = [ "alice"; "bob"; "carol"; "dave" ]
+let initial_balance = 100
+
+let xfer_codec = Codec.triple Troupe.codec (Codec.pair Codec.string Codec.string) Codec.int
+let balance_codec = Codec.string
+
+let () =
+  let sys = System.create ~seed:99 () in
+  let engine = System.engine sys in
+  let troupe_id = 321L in
+  let stores = Array.init n_members (fun _ -> Lightweight.create engine) in
+  let balance store key =
+    match Lightweight.read_committed store key with
+    | Some b -> int_of_string (Bytes.to_string b)
+    | None -> initial_balance
+  in
+  let members =
+    List.init n_members (fun i ->
+        let p = System.process sys ~name:(Printf.sprintf "bank%d" i) () in
+        Runtime.set_self_troupe p.System.runtime troupe_id;
+        let store = stores.(i) in
+        let module_no =
+          Runtime.export p.System.runtime (fun ctx ~proc_no body ->
+              match proc_no with
+              | 0 ->
+                (* transfer(coordinator, (src, dst), amount) *)
+                let coordinator, (src, dst), amount = Codec.decode xfer_codec body in
+                Commit.run ctx ~store ~coordinator ~max_attempts:20 (fun txn ->
+                    (* Touch accounts in canonical order so cyclic
+                       transfer patterns cannot deadlock locally; the
+                       troupe commit protocol handles the distributed
+                       coordination. *)
+                    let read key =
+                      match Lightweight.get store txn key with
+                      | Some b -> int_of_string (Bytes.to_string b)
+                      | None -> initial_balance
+                    in
+                    let write key v =
+                      Lightweight.set store txn key
+                        (Some (Bytes.of_string (string_of_int v)))
+                    in
+                    let ordered = List.sort String.compare [ src; dst ] in
+                    let balances = List.map (fun k -> (k, read k)) ordered in
+                    let adjust key delta = List.assoc key balances + delta in
+                    List.iter
+                      (fun key ->
+                        if key = src then write key (adjust key (-amount))
+                        else write key (adjust key amount))
+                      ordered;
+                    Bytes.empty)
+              | 1 ->
+                let key = Codec.decode balance_codec body in
+                Bytes.of_string (string_of_int (balance store key))
+              | _ -> raise Runtime.Bad_interface)
+        in
+        Runtime.set_export_troupe p.System.runtime ~module_no (Some troupe_id);
+        (p, Runtime.module_addr p.System.runtime module_no))
+  in
+  let troupe = Troupe.make ~id:troupe_id ~members:(List.map snd members) in
+  let member_addrs = List.map (fun (p, _) -> Runtime.addr p.System.runtime) members in
+  (* Tellers: concurrent threads issuing conflicting transfers. *)
+  (* A patient coordinator: a vote queued behind other transactions'
+     locks is not a deadlock; only genuinely divergent serialization
+     orders should abort (§5.3). *)
+  let teller_host = System.add_host sys ~name:"teller" () in
+  let teller_rt =
+    Runtime.create (System.env sys) teller_host
+      ~config:{ Runtime.straggler_timeout = 3.0; retention = 30.0 } ()
+  in
+  let teller =
+    { System.host = teller_host; runtime = teller_rt;
+      binding = Circus_binding.Client.create teller_rt ~ringmaster:(System.ringmaster sys) }
+  in
+  let resolver id = if Ids.Troupe_id.equal id troupe_id then Some member_addrs else None in
+  Runtime.set_resolver teller.System.runtime resolver;
+  let coordinator_mod = Commit.export_coordinator teller.System.runtime () in
+  let coordinator =
+    Troupe.singleton (Runtime.module_addr teller.System.runtime coordinator_mod)
+  in
+  let transfers =
+    [ ("alice", "bob", 10); ("bob", "carol", 25); ("carol", "alice", 5);
+      ("dave", "alice", 40); ("bob", "dave", 15); ("alice", "carol", 20) ]
+  in
+  let completed = ref 0 in
+  List.iter
+    (fun (src, dst, amount) ->
+      ignore
+        (System.spawn teller (fun ctx ->
+             ignore
+               (Runtime.call_troupe ctx troupe ~proc_no:0
+                  (Codec.encode xfer_codec (coordinator, (src, dst), amount)));
+             incr completed;
+             Printf.printf "[%7.3fs] transferred %3d  %-6s -> %-6s\n" (System.now sys) amount
+               src dst)))
+    transfers;
+  System.run sys;
+  Printf.printf "\n%d/%d transfers committed at all %d replicas\n" !completed
+    (List.length transfers) n_members;
+  Printf.printf "%-8s" "account";
+  Array.iteri (fun i _ -> Printf.printf " replica%d" i) stores;
+  print_newline ();
+  List.iter
+    (fun account ->
+      Printf.printf "%-8s" account;
+      Array.iter (fun store -> Printf.printf " %8d" (balance store account)) stores;
+      print_newline ())
+    accounts;
+  let total = List.fold_left (fun acc a -> acc + balance stores.(0) a) 0 accounts in
+  Printf.printf "total: %d (conserved: %b)\n" total
+    (total = initial_balance * List.length accounts);
+  let consistent =
+    List.for_all
+      (fun account ->
+        let reference = balance stores.(0) account in
+        Array.for_all (fun store -> balance store account = reference) stores)
+      accounts
+  in
+  Printf.printf "replicas consistent: %b\n" consistent

@@ -1,0 +1,53 @@
+(* The stub compiler end-to-end (chapter 7): calculator.courier is
+   compiled to calculator_stubs.ml by stubgen at build time; this
+   program runs a replicated calculator troupe through the generated
+   typed stubs, including a typed remote error (REPORTS).
+
+   Run with: dune exec examples/calculator.exe *)
+
+open Circus_rpc
+open Circus
+module Stubs = Calculator_stubs
+
+let start_member sys =
+  let p = System.process sys () in
+  let history = ref [] in
+  let impl =
+    { Stubs.Server.add =
+        (fun _ctx (left, right) ->
+          let sum = Int32.add left right in
+          history := sum :: !history;
+          sum);
+      divide =
+        (fun _ctx (left, right) ->
+          if Int32.equal right 0l then raise (Stubs.Report Stubs.DivisionByZero)
+          else begin
+            let quotient = Int32.div left right and remainder = Int32.rem left right in
+            history := quotient :: !history;
+            (quotient, remainder)
+          end);
+      recall = (fun _ctx () -> List.rev !history) }
+  in
+  let module_no = Stubs.Server.export p.System.runtime impl in
+  Runtime.module_addr p.System.runtime module_no
+
+let () =
+  let sys = System.create ~seed:5 () in
+  let members = List.init 3 (fun _ -> start_member sys) in
+  let troupe = Troupe.make ~id:2600L ~members in
+  let client = System.process sys ~name:"client" () in
+  ignore
+    (System.spawn client (fun ctx ->
+         let sum = Stubs.Client.add ctx troupe (17l, 25l) in
+         Printf.printf "add 17 25 = %ld\n" sum;
+         let q, r = Stubs.Client.divide ctx troupe (144l, 10l) in
+         Printf.printf "divide 144 10 = %ld remainder %ld\n" q r;
+         (match Stubs.Client.divide ctx troupe (1l, 0l) with
+         | _ -> print_endline "division by zero slipped through!"
+         | exception Stubs.Report Stubs.DivisionByZero ->
+           print_endline "divide 1 0 -> DivisionByZero reported (typed remote error)");
+         let history = Stubs.Client.recall ctx troupe () in
+         Printf.printf "history at all replicas: [%s]\n"
+           (String.concat "; " (List.map Int32.to_string history))));
+  System.run sys;
+  print_endline "done."

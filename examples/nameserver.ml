@@ -1,0 +1,132 @@
+(* The NameServer of Figure 7.2, served by a replicated troupe and
+   called through *interpreted* stubs (§7.1.2): the Courier interface
+   is kept as data at run time — the Interlisp-D approach — and values
+   are translated by codecs derived directly from the parsed
+   specification, with no code generation step.
+
+   Run with: dune exec examples/nameserver.exe *)
+
+open Circus_idl
+open Circus_rpc
+open Circus
+module Codec = Circus_wire.Codec
+
+(* Figure 7.2, verbatim (modulo the unsupported constant syntax). *)
+let specification =
+  {|
+NameServer: PROGRAM 26 VERSION 1 =
+BEGIN
+  Name: TYPE = STRING;
+  Property: TYPE = RECORD [name: Name, value: SEQUENCE OF UNSPECIFIED];
+  Properties: TYPE = SEQUENCE OF Property;
+  AlreadyExists: ERROR = 0;
+  NotFound: ERROR = 1;
+  Register: PROCEDURE [name: Name, properties: Properties]
+    REPORTS [AlreadyExists] = 0;
+  Lookup: PROCEDURE [name: Name]
+    RETURNS [properties: Properties]
+    REPORTS [NotFound] = 1;
+  Delete: PROCEDURE [name: Name]
+    REPORTS [NotFound] = 2;
+END.
+|}
+
+let program = Parser.parse specification
+let () = Check.check program
+
+(* Run-time codec derivation — the "representation of a Courier
+   specification" as live data (Figure 7.3). *)
+let args_codec proc_name =
+  let p = List.find (fun p -> p.Ast.proc_name = proc_name) (Ast.procs program) in
+  match p.Ast.proc_args with
+  | [] -> Dynamic.codec program (Ast.Record [])
+  | fields -> Dynamic.codec program (Ast.Record fields)
+
+let results_codec proc_name =
+  let p = List.find (fun p -> p.Ast.proc_name = proc_name) (Ast.procs program) in
+  Dynamic.codec program (Ast.Record p.Ast.proc_results)
+
+let proc_code name =
+  (List.find (fun p -> p.Ast.proc_name = name) (Ast.procs program)).Ast.proc_code
+
+(* Replies carry Ok results or Error error-code. *)
+let encode_reply results_c = Codec.result results_c Codec.uint8
+let unit_value = Dynamic.Rec []
+
+(* CourierCall (Figure 7.4): procedure name + dynamic argument value in,
+   dynamic result value out. *)
+let courier_call ctx troupe proc_name (args : Dynamic.value) =
+  let answer =
+    Runtime.call_troupe ctx troupe ~proc_no:(proc_code proc_name)
+      (Codec.encode (args_codec proc_name) args)
+  in
+  match Codec.decode (encode_reply (results_codec proc_name)) answer with
+  | Ok result -> result
+  | Error code ->
+    let error = List.find (fun e -> e.Ast.error_code = code) (Ast.errors program) in
+    failwith ("remote error: " ^ error.Ast.error_name)
+
+(* One troupe member: the interpreted server dispatch. *)
+let start_member sys =
+  let process = System.process sys () in
+  let table : (string, Dynamic.value) Hashtbl.t = Hashtbl.create 16 in
+  let dispatch _ctx ~proc_no body =
+    let proc = List.find (fun p -> p.Ast.proc_code = proc_no) (Ast.procs program) in
+    let args = Codec.decode (args_codec proc.Ast.proc_name) body in
+    let reply_c = encode_reply (results_codec proc.Ast.proc_name) in
+    let reply_ok v = Codec.encode reply_c (Ok v) in
+    let reply_err code = Codec.encode reply_c (Error code) in
+    match (proc.Ast.proc_name, args) with
+    | "Register", Dynamic.Rec [ ("name", Dynamic.Str name); ("properties", props) ] ->
+      if Hashtbl.mem table name then reply_err 0 (* AlreadyExists *)
+      else begin
+        Hashtbl.replace table name props;
+        reply_ok unit_value
+      end
+    | "Lookup", Dynamic.Rec [ ("name", Dynamic.Str name) ] -> (
+      match Hashtbl.find_opt table name with
+      | Some props -> reply_ok (Dynamic.Rec [ ("properties", props) ])
+      | None -> reply_err 1 (* NotFound *))
+    | "Delete", Dynamic.Rec [ ("name", Dynamic.Str name) ] ->
+      if Hashtbl.mem table name then begin
+        Hashtbl.remove table name;
+        reply_ok unit_value
+      end
+      else reply_err 1
+    | _ -> raise Runtime.Bad_interface
+  in
+  let module_no = Runtime.export process.System.runtime dispatch in
+  Runtime.module_addr process.System.runtime module_no
+
+let () =
+  let sys = System.create ~seed:26 () in
+  Format.printf "interpreted stubs for program %s (program %d version %d)@."
+    program.Ast.program_name program.Ast.program_no program.Ast.version;
+  let members = List.init 3 (fun _ -> start_member sys) in
+  let troupe = Troupe.make ~id:260L ~members in
+  let client = System.process sys ~name:"client" () in
+  ignore
+    (System.spawn client (fun ctx ->
+         let printer_props =
+           Dynamic.Seq
+             [ Dynamic.Rec
+                 [ ("name", Dynamic.Str "speed");
+                   ("value", Dynamic.Seq [ Dynamic.Word 30 ]) ];
+               Dynamic.Rec
+                 [ ("name", Dynamic.Str "duplex"); ("value", Dynamic.Seq [ Dynamic.Word 1 ]) ] ]
+         in
+         ignore
+           (courier_call ctx troupe "Register"
+              (Dynamic.Rec [ ("name", Dynamic.Str "printer-37"); ("properties", printer_props) ]));
+         print_endline "registered printer-37 at all three replicas";
+         let found = courier_call ctx troupe "Lookup" (Dynamic.Rec [ ("name", Dynamic.Str "printer-37") ]) in
+         Format.printf "lookup printer-37 -> %a@." Dynamic.pp found;
+         (match courier_call ctx troupe "Lookup" (Dynamic.Rec [ ("name", Dynamic.Str "toaster") ]) with
+         | _ -> print_endline "toaster found?!"
+         | exception Failure msg -> print_endline ("lookup toaster -> " ^ msg));
+         ignore (courier_call ctx troupe "Delete" (Dynamic.Rec [ ("name", Dynamic.Str "printer-37") ]));
+         (match courier_call ctx troupe "Lookup" (Dynamic.Rec [ ("name", Dynamic.Str "printer-37") ]) with
+         | _ -> print_endline "deletion failed?!"
+         | exception Failure msg -> print_endline ("after delete -> " ^ msg))));
+  System.run sys;
+  print_endline "done."

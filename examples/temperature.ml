@@ -1,0 +1,98 @@
+(* Explicit replication and collators (§7.4, Figures 7.6–7.10).
+
+   Part 1 — server side (Figure 7.7): three replicated sensors call
+   set_temperature with slightly diverging readings; the controller
+   collates all arguments and applies their average.
+
+   Part 2 — client side: a client queries a troupe in which one member
+   has gone rogue, once with the unanimous collator (detects the
+   disagreement), once with majority voting (masks it), and once with
+   first-come over the response generator (fastest, no checking).
+
+   Run with: dune exec examples/temperature.exe *)
+
+open Circus_rpc
+open Circus
+module Codec = Circus_wire.Codec
+
+let set_temperature =
+  Interface.proc ~proc_no:0 ~name:"set_temperature" Codec.float64 Codec.float64
+
+let read_temperature = Interface.proc ~proc_no:0 ~name:"read" Codec.unit Codec.float64
+
+let part1_averaging_controller sys =
+  print_endline "-- Part 1: a controller averaging the arguments of a sensor troupe";
+  let controller = System.process sys ~name:"controller" () in
+  let handlers =
+    [ Interface.handle_collated set_temperature (fun _ctx ~expected temps ->
+          let average = List.fold_left ( +. ) 0.0 temps /. float_of_int (List.length temps) in
+          Printf.printf "  controller: %d/%d sensors reported %s -> applying %.2f\n"
+            (List.length temps) expected
+            (String.concat ", " (List.map (Printf.sprintf "%.2f") temps))
+            average;
+          average) ]
+  in
+  let module_no = Interface.export controller.System.runtime handlers in
+  let troupe = Troupe.singleton (Runtime.module_addr controller.System.runtime module_no) in
+  let sensor_troupe_id = 1234L in
+  let sensors =
+    List.init 3 (fun i ->
+        let p = System.process sys ~name:(Printf.sprintf "sensor%d" i) () in
+        Runtime.set_self_troupe p.System.runtime sensor_troupe_id;
+        p)
+  in
+  let addrs = List.map (fun p -> Runtime.addr p.System.runtime) sensors in
+  Runtime.set_resolver controller.System.runtime (fun id ->
+      if Ids.Troupe_id.equal id sensor_troupe_id then Some addrs else None);
+  let thread = { Ids.Thread_id.origin = 42; pid = 1 } in
+  List.iteri
+    (fun i p ->
+      ignore
+        (Runtime.spawn_thread_as p.System.runtime ~thread (fun ctx ->
+             let reading = 19.5 +. (0.5 *. float_of_int i) in
+             let applied = Interface.call ctx troupe set_temperature reading in
+             Printf.printf "  sensor%d: sent %.2f, troupe applied %.2f\n" i reading applied)))
+    sensors;
+  System.run sys
+
+let part2_client_collators sys =
+  print_endline "-- Part 2: client-side collators over a troupe with one rogue member";
+  let make_member value =
+    let p = System.process sys () in
+    let module_no =
+      Interface.export p.System.runtime
+        [ Interface.handle read_temperature (fun _ctx () -> value) ]
+    in
+    Runtime.module_addr p.System.runtime module_no
+  in
+  let members = [ make_member 20.0; make_member 20.0; make_member 99.9 (* rogue *) ] in
+  let troupe = Troupe.make ~id:4321L ~members in
+  let client = System.process sys ~name:"reader" () in
+  ignore
+    (System.spawn client (fun ctx ->
+         (match Interface.call ctx troupe read_temperature () with
+         | v -> Printf.printf "  unanimous: %.2f (unexpected!)\n" v
+         | exception Collator.Disagreement ->
+           print_endline "  unanimous: disagreement detected (error detection, Figure 7.8)");
+         let v = Interface.call ctx troupe read_temperature ~collator:Collator.majority () in
+         Printf.printf "  majority:  %.2f (the rogue member is outvoted, Figure 7.10)\n" v;
+         let v = Interface.call ctx troupe read_temperature ~collator:Collator.first_come () in
+         Printf.printf "  first-come: %.2f (no error detection, Figure 7.9)\n" v;
+         (* Explicit replication: iterate the response generator and stop
+            at the first acceptable value (Figure 7.6). *)
+         let _total, results = Interface.call_gen ctx troupe read_temperature () in
+         let acceptable v = v < 50.0 in
+         let rec scan s =
+           match s () with
+           | Seq.Nil -> print_endline "  generator: no acceptable response"
+           | Seq.Cons (Some v, _) when acceptable v ->
+             Printf.printf "  generator: first acceptable response %.2f (Figure 7.6)\n" v
+           | Seq.Cons (_, rest) -> scan rest
+         in
+         scan results));
+  System.run sys
+
+let () =
+  part1_averaging_controller (System.create ~seed:7 ());
+  part2_client_collators (System.create ~seed:8 ());
+  print_endline "done."

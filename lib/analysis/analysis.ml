@@ -1,0 +1,98 @@
+module Prng = Circus_sim.Prng
+
+let harmonic n =
+  let rec loop k acc = if k > n then acc else loop (k + 1) (acc +. (1.0 /. float_of_int k)) in
+  loop 1 0.0
+
+let expected_max_exponential ~n ~mean = harmonic n *. mean
+
+let sample_max_exponential prng ~n ~mean =
+  let rec loop k best =
+    if k = 0 then best else loop (k - 1) (Float.max best (Prng.exponential prng ~mean))
+  in
+  loop n neg_infinity
+
+let monte_carlo_max_exponential prng ~n ~mean ~trials =
+  let sum = ref 0.0 in
+  for _ = 1 to trials do
+    sum := !sum +. sample_max_exponential prng ~n ~mean
+  done;
+  !sum /. float_of_int trials
+
+(* ------------------------------------------------------------------ *)
+
+let log_factorial k =
+  let rec loop i acc = if i > k then acc else loop (i + 1) (acc +. log (float_of_int i)) in
+  loop 2 0.0
+
+let deadlock_probability ~members ~conflicts =
+  if members <= 1 || conflicts <= 1 then 0.0
+  else 1.0 -. exp (-.float_of_int (members - 1) *. log_factorial conflicts)
+
+let monte_carlo_deadlock prng ~members ~conflicts ~trials =
+  let base = Array.init conflicts Fun.id in
+  let deadlocks = ref 0 in
+  for _ = 1 to trials do
+    let reference = Array.copy base in
+    Prng.shuffle prng reference;
+    let all_same = ref true in
+    for _ = 2 to members do
+      let other = Array.copy base in
+      Prng.shuffle prng other;
+      if other <> reference then all_same := false
+    done;
+    if not !all_same then incr deadlocks
+  done;
+  float_of_int !deadlocks /. float_of_int trials
+
+(* ------------------------------------------------------------------ *)
+
+let availability ~n ~failure_rate ~repair_rate =
+  let p_total = (failure_rate /. (failure_rate +. repair_rate)) ** float_of_int n in
+  1.0 -. p_total
+
+let log_choose n k =
+  log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let state_probability ~n ~k ~failure_rate ~repair_rate =
+  let rho = failure_rate /. repair_rate in
+  exp (log_choose n k +. (float_of_int k *. log rho) -. (float_of_int n *. log (1.0 +. rho)))
+
+let required_repair_time ~n ~availability ~lifetime =
+  if availability <= 0.0 || availability >= 1.0 then
+    invalid_arg "Analysis.required_repair_time: availability must be in (0,1)";
+  let x = (1.0 -. availability) ** (1.0 /. float_of_int n) in
+  lifetime *. x /. (1.0 -. x)
+
+let simulate_availability prng ~n ~failure_rate ~repair_rate ~horizon =
+  (* Discrete-event simulation of n independent alive/dead members. *)
+  let next_event = Array.make n 0.0 in
+  let alive = Array.make n true in
+  for i = 0 to n - 1 do
+    next_event.(i) <- Prng.exponential prng ~mean:(1.0 /. failure_rate)
+  done;
+  let now = ref 0.0 in
+  let down_time = ref 0.0 in
+  let all_dead () = Array.for_all not alive in
+  while !now < horizon do
+    (* Find the earliest pending transition. *)
+    let idx = ref 0 in
+    for i = 1 to n - 1 do
+      if next_event.(i) < next_event.(!idx) then idx := i
+    done;
+    let t = Float.min next_event.(!idx) horizon in
+    if all_dead () then down_time := !down_time +. (t -. !now);
+    now := t;
+    if next_event.(!idx) <= horizon then begin
+      let i = !idx in
+      if alive.(i) then begin
+        alive.(i) <- false;
+        next_event.(i) <- !now +. Prng.exponential prng ~mean:(1.0 /. repair_rate)
+      end
+      else begin
+        alive.(i) <- true;
+        next_event.(i) <- !now +. Prng.exponential prng ~mean:(1.0 /. failure_rate)
+      end
+    end
+  done;
+  1.0 -. (!down_time /. horizon)

@@ -1,0 +1,145 @@
+open Circus_net
+open Circus_rpc
+module Codec = Circus_wire.Codec
+
+exception Unknown_service of string
+
+type t = {
+  rt : Runtime.t;
+  ringmaster : Troupe.t;
+  by_name : (string, Troupe.t) Hashtbl.t;
+  by_id : (Ids.Troupe_id.t, Addr.t list) Hashtbl.t;
+}
+
+let runtime t = t.rt
+let ringmaster t = t.ringmaster
+
+let ringmaster_call t ctx ~proc_no body =
+  Runtime.call_troupe ctx t.ringmaster ~proc_no body
+
+let cache_troupe t troupe =
+  Hashtbl.replace t.by_id troupe.Troupe.id (Troupe.member_processes troupe)
+
+let lookup t ctx name =
+  let answer =
+    ringmaster_call t ctx ~proc_no:Ringmaster.proc_lookup_by_name
+      (Codec.encode Codec.string name)
+  in
+  match Codec.decode Ringmaster.troupe_opt answer with
+  | Some troupe ->
+    Hashtbl.replace t.by_name name troupe;
+    cache_troupe t troupe;
+    troupe
+  | None -> raise (Unknown_service name)
+
+let import t ctx name =
+  match Hashtbl.find_opt t.by_name name with Some troupe -> troupe | None -> lookup t ctx name
+
+let invalidate t name = Hashtbl.remove t.by_name name
+
+let rebind t ctx name =
+  let old_id =
+    match Hashtbl.find_opt t.by_name name with
+    | Some troupe -> troupe.Troupe.id
+    | None -> Ids.Troupe_id.none
+  in
+  Hashtbl.remove t.by_name name;
+  let answer =
+    ringmaster_call t ctx ~proc_no:Ringmaster.proc_rebind
+      (Codec.encode Ringmaster.rebind_args (name, old_id))
+  in
+  match Codec.decode Ringmaster.troupe_opt answer with
+  | Some troupe ->
+    Hashtbl.replace t.by_name name troupe;
+    cache_troupe t troupe;
+    troupe
+  | None -> raise (Unknown_service name)
+
+let call t ctx ~service ~proc_no ?collator ?(retries = 3) body =
+  let rec attempt remaining troupe =
+    match Runtime.call_troupe ctx troupe ~proc_no ?collator body with
+    | result -> result
+    | exception
+        (( Runtime.Stale_binding _ | Circus_pairmsg.Endpoint.Rejected _
+         | Circus_pairmsg.Endpoint.Crashed _ | Collator.Troupe_failed ) as e) ->
+      if remaining = 0 then raise e
+      else begin
+        (* Stale cached binding (§6.1): refresh and retry. *)
+        let troupe = rebind t ctx service in
+        attempt (remaining - 1) troupe
+      end
+  in
+  attempt retries (import t ctx service)
+
+let register t ctx ~name troupe =
+  let answer =
+    ringmaster_call t ctx ~proc_no:Ringmaster.proc_register_troupe
+      (Codec.encode Ringmaster.register_args (name, troupe))
+  in
+  invalidate t name;
+  Codec.decode Ids.Troupe_id.codec answer
+
+let member_change t ctx ~proc_no ~name member =
+  let answer =
+    ringmaster_call t ctx ~proc_no (Codec.encode Ringmaster.member_args (name, member))
+  in
+  invalidate t name;
+  match Codec.decode Ringmaster.troupe_opt answer with
+  | Some troupe ->
+    Hashtbl.replace t.by_name name troupe;
+    cache_troupe t troupe;
+    Some troupe
+  | None -> None
+
+let add_member t ctx ~name member =
+  member_change t ctx ~proc_no:Ringmaster.proc_add_troupe_member ~name member
+
+let remove_member t ctx ~name member =
+  member_change t ctx ~proc_no:Ringmaster.proc_remove_troupe_member ~name member
+
+let enumerate t ctx =
+  Codec.decode Ringmaster.listing
+    (ringmaster_call t ctx ~proc_no:Ringmaster.proc_enumerate Bytes.empty)
+
+let export_service t ctx ~name ~module_no =
+  (* From now on, reconfiguration pushes for this module also rename our
+     client identity. *)
+  Runtime.set_self_troupe_follows t.rt (Some module_no);
+  match add_member t ctx ~name (Runtime.module_addr t.rt module_no) with
+  | Some troupe ->
+    (* The Ringmaster already pushed the new troupe ID to every member
+       (including us) via set_troupe_id; adopt it as our client
+       identity too — monotonically, since a later reconfiguration may
+       have raced past this reply. *)
+    Runtime.adopt_self_troupe t.rt troupe.Troupe.id;
+    Runtime.adopt_export_troupe t.rt ~module_no troupe.Troupe.id;
+    troupe
+  | None -> raise (Unknown_service name)
+
+(* Resolve a client troupe ID for the server half of the runtime: local
+   cache first, then a lookup at the Ringmaster (§4.3.2). *)
+let resolver t id =
+  if Ids.Troupe_id.equal id Ringmaster.ringmaster_troupe_id then
+    Some (Troupe.member_processes t.ringmaster)
+  else
+    match Hashtbl.find_opt t.by_id id with
+    | Some members -> Some members
+    | None -> (
+      let ctx = Runtime.detached_ctx t.rt in
+      match
+        Runtime.call_troupe ctx t.ringmaster ~proc_no:Ringmaster.proc_lookup_by_id
+          ~collator:Collator.first_come
+          (Codec.encode Ids.Troupe_id.codec id)
+      with
+      | answer -> (
+        match Codec.decode Ringmaster.troupe_opt answer with
+        | Some troupe ->
+          cache_troupe t troupe;
+          Some (Troupe.member_processes troupe)
+        | None -> None)
+      | exception _ -> None)
+
+let create rt ~ringmaster =
+  let t = { rt; ringmaster; by_name = Hashtbl.create 16; by_id = Hashtbl.create 16 } in
+  Runtime.set_resolver rt (resolver t);
+  t

@@ -1,0 +1,57 @@
+(** Binding-agent client with cached lookups (§6.1, §6.2).
+
+    Clients amortize the cost of interactions with the binding agent by
+    caching import results, which raises the cache invalidation
+    problem.  With replication the stale cases are the four possible
+    intersections of the cached member set and the true one; the
+    dangerous ones (calling some but not all true members) are defused
+    by troupe IDs acting as incarnation numbers — servers reject
+    mismatched destination IDs, the client sees {!Runtime.Stale_binding}
+    and rebinds (§6.2).
+
+    {!call} packages the whole masking loop: import from cache, call,
+    and on any invalid-binding symptom refresh the binding and retry. *)
+
+open Circus_net
+open Circus_rpc
+
+type t
+
+val create : Runtime.t -> ringmaster:Troupe.t -> t
+(** Also installs this cache as the runtime's troupe-ID resolver: the
+    server half of the RPC runtime maps client troupe IDs to
+    memberships through it, falling back to a [lookup_troupe_by_id]
+    call at the Ringmaster on a miss (§4.3.2). *)
+
+val runtime : t -> Runtime.t
+val ringmaster : t -> Troupe.t
+
+exception Unknown_service of string
+
+val import : t -> Runtime.ctx -> string -> Troupe.t
+(** Cached [lookup_troupe_by_name]; raises {!Unknown_service}. *)
+
+val rebind : t -> Runtime.ctx -> string -> Troupe.t
+(** Drop the cached binding and fetch the current one with the
+    Ringmaster's [rebind] procedure. *)
+
+val invalidate : t -> string -> unit
+
+val call :
+  t -> Runtime.ctx -> service:string -> proc_no:int ->
+  ?collator:Collator.t -> ?retries:int -> bytes -> bytes
+(** Replicated call by service name with automatic rebinding: on
+    {!Runtime.Stale_binding}, {!Circus_pairmsg.Endpoint.Rejected},
+    {!Circus_pairmsg.Endpoint.Crashed} or {!Collator.Troupe_failed} the
+    binding is refreshed and the call retried (default 3 retries). *)
+
+val register : t -> Runtime.ctx -> name:string -> Troupe.t -> Ids.Troupe_id.t
+val add_member : t -> Runtime.ctx -> name:string -> Addr.module_addr -> Troupe.t option
+val remove_member : t -> Runtime.ctx -> name:string -> Addr.module_addr -> Troupe.t option
+val enumerate : t -> Runtime.ctx -> (string * Troupe.t) list
+
+val export_service : t -> Runtime.ctx -> name:string -> module_no:int -> Troupe.t
+(** A server exports a module (§6.3): add this runtime's module to the
+    named troupe (creating it if absent), adopt the new troupe ID for
+    both the export and the runtime's client identity, and return the
+    resulting troupe. *)

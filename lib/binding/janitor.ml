@@ -1,0 +1,37 @@
+open Circus_sim
+open Circus_rpc
+
+let probe_alive ctx (member : Circus_net.Addr.module_addr) =
+  match Runtime.call_module ctx member ~proc_no:Runtime.reserved_null_proc Bytes.empty with
+  | _ -> true
+  | exception
+      ( Circus_pairmsg.Endpoint.Crashed _ | Circus_pairmsg.Endpoint.Rejected _
+      | Collator.Troupe_failed ) ->
+    false
+  | exception _ -> true  (* errors other than unreachability are proof of life *)
+
+let collect_once client ctx =
+  let removed = ref 0 in
+  let listing = Client.enumerate client ctx in
+  List.iter
+    (fun (name, troupe) ->
+      List.iter
+        (fun member ->
+          if not (probe_alive ctx member) then begin
+            ignore (Client.remove_member client ctx ~name member);
+            incr removed
+          end)
+        troupe.Troupe.members)
+    listing;
+  !removed
+
+let spawn client ?(period = 5.0) ?probe_timeout () =
+  ignore probe_timeout;
+  let rt = Client.runtime client in
+  let host = Runtime.host rt in
+  Circus_net.Host.spawn host ~label:"binding.janitor" (fun () ->
+      while Circus_net.Host.is_alive host do
+        Fiber.sleep period;
+        let ctx = Runtime.detached_ctx rt in
+        (try ignore (collect_once client ctx) with _ -> ())
+      done)

@@ -1,0 +1,18 @@
+open Circus_rpc
+
+let fetch_state ctx (troupe : Troupe.t) =
+  (* First-come: the members are consistent, so any copy of the state
+     will do (§6.4.1). *)
+  match
+    Runtime.call_troupe ctx troupe ~proc_no:Runtime.reserved_get_state_proc
+      ~collator:Collator.first_come Bytes.empty
+  with
+  | state -> Some state
+  | exception _ -> None
+
+let join client ctx ~name ~module_no ~load =
+  (match Client.import client ctx name with
+  | troupe -> (
+    match fetch_state ctx troupe with Some state -> load state | None -> ())
+  | exception Client.Unknown_service _ -> ());
+  Client.export_service client ctx ~name ~module_no

@@ -1,0 +1,25 @@
+(** Adding a new member to an existing troupe (§6.4.1).
+
+    Two steps, bracketed together: bring the newcomer into a state
+    consistent with the existing members by externalizing one member's
+    state with the generated [get_state] procedure and internalizing it
+    at the newcomer; then register the newcomer with the binding agent
+    via [add_troupe_member], which atomically changes membership and
+    troupe ID.  Since existing members are consistent and [get_state]
+    is free of side effects, an unreplicated call to any one member
+    suffices (the paper's own observation). *)
+
+open Circus_rpc
+
+val join :
+  Client.t ->
+  Runtime.ctx ->
+  name:string ->
+  module_no:int ->
+  load:(bytes -> unit) ->
+  Troupe.t
+(** Join the named troupe as this runtime's [module_no]: fetch and load
+    the state (skipped when the troupe does not exist yet or exposes no
+    state), then add ourselves.  Returns the new troupe; the new troupe
+    ID is already installed at every member, and this runtime adopts it
+    as its client identity. *)

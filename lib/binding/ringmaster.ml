@@ -1,0 +1,122 @@
+open Circus_net
+open Circus_rpc
+module Codec = Circus_wire.Codec
+
+let ringmaster_port = 111
+let ringmaster_troupe_id = 1L
+
+let proc_register_troupe = 0
+let proc_add_troupe_member = 1
+let proc_lookup_by_name = 2
+let proc_lookup_by_id = 3
+let proc_remove_troupe_member = 4
+let proc_enumerate = 5
+let proc_rebind = 6
+
+let register_args = Codec.pair Codec.string Troupe.codec
+let member_args = Codec.pair Codec.string Troupe.module_addr_codec
+let troupe_opt = Codec.option Troupe.codec
+let listing = Codec.list (Codec.pair Codec.string Troupe.codec)
+let rebind_args = Codec.pair Codec.string Ids.Troupe_id.codec
+
+let bootstrap_troupe ~hosts =
+  let members =
+    List.map (fun host -> Addr.module_addr (Addr.make ~host ~port:ringmaster_port) 0) hosts
+  in
+  Troupe.make ~id:ringmaster_troupe_id ~members
+
+type registry = {
+  table : (string, Troupe.t) Hashtbl.t;
+  fresh_id : unit -> Ids.Troupe_id.t;
+}
+
+(* Push the new troupe ID to every member via the generated
+   set_troupe_id procedure, as a subtransaction of the membership
+   change (Figure 6.2).  Unreachable members are skipped: they will be
+   garbage-collected, and meanwhile they reject calls, which is safe. *)
+let push_troupe_id ctx (troupe : Troupe.t) =
+  let payload = Codec.encode (Codec.option Ids.Troupe_id.codec) (Some troupe.Troupe.id) in
+  List.iter
+    (fun (member : Addr.module_addr) ->
+      try
+        ignore
+          (Runtime.call_module ctx member ~proc_no:Runtime.reserved_set_troupe_id_proc payload)
+      with _ -> ())
+    troupe.Troupe.members
+
+let register registry ctx name (troupe : Troupe.t) =
+  let id = registry.fresh_id () in
+  let renamed = { troupe with Troupe.id = id } in
+  Hashtbl.replace registry.table name renamed;
+  push_troupe_id ctx renamed;
+  id
+
+let change_members registry ctx name transform =
+  let current = Hashtbl.find_opt registry.table name in
+  let members =
+    match current with Some t -> transform t.Troupe.members | None -> transform []
+  in
+  match members with
+  | [] ->
+    Hashtbl.remove registry.table name;
+    None
+  | members ->
+    let id = registry.fresh_id () in
+    let troupe = Troupe.make ~id ~members in
+    Hashtbl.replace registry.table name troupe;
+    push_troupe_id ctx troupe;
+    Some troupe
+
+let add_member registry ctx name member =
+  change_members registry ctx name (fun members ->
+      if List.exists (Addr.equal_module member) members then members else members @ [ member ])
+
+let remove_member registry ctx name member =
+  change_members registry ctx name
+    (fun members -> List.filter (fun m -> not (Addr.equal_module m member)) members)
+
+let lookup_by_id registry id =
+  Hashtbl.fold
+    (fun _ troupe acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> if Ids.Troupe_id.equal troupe.Troupe.id id then Some troupe else acc)
+    registry.table None
+
+let enumerate registry =
+  Hashtbl.fold (fun name troupe acc -> (name, troupe) :: acc) registry.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let dispatch registry ctx ~proc_no body =
+  if proc_no = proc_register_troupe then
+    let name, troupe = Codec.decode register_args body in
+    Codec.encode Ids.Troupe_id.codec (register registry ctx name troupe)
+  else if proc_no = proc_add_troupe_member then
+    let name, member = Codec.decode member_args body in
+    Codec.encode troupe_opt (add_member registry ctx name member)
+  else if proc_no = proc_lookup_by_name then
+    Codec.encode troupe_opt (Hashtbl.find_opt registry.table (Codec.decode Codec.string body))
+  else if proc_no = proc_lookup_by_id then
+    Codec.encode troupe_opt (lookup_by_id registry (Codec.decode Ids.Troupe_id.codec body))
+  else if proc_no = proc_remove_troupe_member then
+    let name, member = Codec.decode member_args body in
+    Codec.encode troupe_opt (remove_member registry ctx name member)
+  else if proc_no = proc_enumerate then Codec.encode listing (enumerate registry)
+  else if proc_no = proc_rebind then begin
+    (* The old binding is only a hint (§6.1): answer with the current
+       truth; stale ids need no explicit deletion because registration
+       already replaced them. *)
+    let name, _old_id = Codec.decode rebind_args body in
+    Codec.encode troupe_opt (Hashtbl.find_opt registry.table name)
+  end
+  else raise Runtime.Bad_interface
+
+let start_member env host =
+  let rt = Runtime.create env host ~port:ringmaster_port () in
+  Runtime.set_self_troupe rt ringmaster_troupe_id;
+  (* Seeded identically at every member: replicas of a deterministic
+     module mint identical id sequences. *)
+  let registry = { table = Hashtbl.create 32; fresh_id = Ids.Troupe_id.generator ~seed:7 } in
+  let module_no = Runtime.export rt (fun ctx ~proc_no body -> dispatch registry ctx ~proc_no body) in
+  Runtime.set_export_troupe rt ~module_no (Some ringmaster_troupe_id);
+  rt

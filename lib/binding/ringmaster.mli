@@ -1,0 +1,60 @@
+(** The Ringmaster binding agent (§6.3).
+
+    A dedicated name server that lets programs import and export
+    troupes by name.  It manipulates troupes (sets of module
+    addresses), assigns permanently unique troupe IDs, and is itself a
+    troupe whose procedures are invoked via replicated procedure calls.
+
+    Since the Ringmaster cannot be used to import itself, it is bound
+    by a degenerate mechanism: a well-known port on a configured set of
+    machines (§6.3).
+
+    [add_troupe_member] implements Figure 6.2: the membership change
+    and the troupe ID change happen together, and the new ID is pushed
+    to every member with the generated [set_troupe_id] procedure, so a
+    client can never successfully call some but not all members of a
+    reconfigured troupe (§6.2). *)
+
+open Circus_net
+open Circus_rpc
+
+val ringmaster_port : int
+(** The well-known port (111). *)
+
+val ringmaster_troupe_id : Ids.Troupe_id.t
+(** The reserved troupe ID (1) under which Ringmaster members identify
+    themselves. *)
+
+val bootstrap_troupe : hosts:Addr.host_id list -> Troupe.t
+(** The degenerate binding for the Ringmaster itself: module 0 at the
+    well-known port on each configured machine. *)
+
+val start_member : Syscall.env -> Host.t -> Runtime.t
+(** Run a Ringmaster member on this host.  All members started across a
+    simulation mint the same deterministic sequence of troupe IDs, as
+    replicas of one deterministic module must. *)
+
+(** Procedure numbers of the binding interface (Figure 6.1):
+    [register_troupe : (name, troupe) -> troupe_id],
+    [add_troupe_member : (name, module_addr) -> troupe],
+    [lookup_troupe_by_name : name -> troupe option],
+    [lookup_troupe_by_id : troupe_id -> troupe option],
+    [remove_troupe_member : (name, module_addr) -> troupe option],
+    [enumerate : () -> (name * troupe) list],
+    [rebind : (name, old_id) -> troupe option] (§6.1). *)
+
+val proc_register_troupe : int
+val proc_add_troupe_member : int
+val proc_lookup_by_name : int
+val proc_lookup_by_id : int
+val proc_remove_troupe_member : int
+val proc_enumerate : int
+val proc_rebind : int
+
+(** Wire formats shared with {!Client}. *)
+
+val register_args : (string * Troupe.t) Circus_wire.Codec.t
+val member_args : (string * Addr.module_addr) Circus_wire.Codec.t
+val troupe_opt : Troupe.t option Circus_wire.Codec.t
+val listing : (string * Troupe.t) list Circus_wire.Codec.t
+val rebind_args : (string * Ids.Troupe_id.t) Circus_wire.Codec.t

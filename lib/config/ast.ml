@@ -1,0 +1,40 @@
+type value = Str of string | Num of float
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type formula =
+  | Compare of int * string * comparison * value
+  | Property of int * string
+  | And of formula * formula
+  | Or of formula * formula
+  | Not of formula
+
+type spec = { vars : string list; formula : formula }
+
+let arity spec = List.length spec.vars
+
+let pp_value ppf = function
+  | Str s -> Format.fprintf ppf "%S" s
+  | Num n -> if Float.is_integer n then Format.fprintf ppf "%d" (int_of_float n) else Format.fprintf ppf "%g" n
+
+let comparison_symbol = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp spec ppf formula =
+  let var i = List.nth spec.vars i in
+  let rec go ppf = function
+    | Compare (v, attr, cmp, value) ->
+      Format.fprintf ppf "%s.%s %s %a" (var v) attr (comparison_symbol cmp) pp_value value
+    | Property (v, attr) -> Format.fprintf ppf "%s.%s" (var v) attr
+    | And (a, b) -> Format.fprintf ppf "(%a and %a)" go a go b
+    | Or (a, b) -> Format.fprintf ppf "(%a or %a)" go a go b
+    | Not a -> Format.fprintf ppf "not %a" go a
+  in
+  go ppf formula
+
+let pp_spec ppf spec =
+  Format.fprintf ppf "troupe (%s) where %a" (String.concat ", " spec.vars) (pp spec) spec.formula

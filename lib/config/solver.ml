@@ -1,0 +1,108 @@
+open Circus_net
+
+type machine = { machine_id : Addr.host_id; attrs : (string * Host.attribute_value) list }
+
+let machine_of_host host = { machine_id = Host.id host; attrs = Host.attributes host }
+
+let compare_values cmp (actual : Host.attribute_value) (wanted : Ast.value) =
+  let test order =
+    match cmp with
+    | Ast.Eq -> order = 0
+    | Ast.Ne -> order <> 0
+    | Ast.Lt -> order < 0
+    | Ast.Le -> order <= 0
+    | Ast.Gt -> order > 0
+    | Ast.Ge -> order >= 0
+  in
+  match (actual, wanted) with
+  | Host.Str s, Ast.Str s' -> test (String.compare s s')
+  | Host.Num x, Ast.Num x' -> test (Float.compare x x')
+  | Host.Flag _, _ | _, _ -> false
+
+let rec eval formula assignment =
+  match formula with
+  | Ast.And (a, b) -> eval a assignment && eval b assignment
+  | Ast.Or (a, b) -> eval a assignment || eval b assignment
+  | Ast.Not a -> not (eval a assignment)
+  | Ast.Property (v, attr) -> (
+    match List.assoc_opt attr assignment.(v).attrs with
+    | Some (Host.Flag b) -> b
+    | Some (Host.Str _ | Host.Num _) | None -> false)
+  | Ast.Compare (v, attr, cmp, wanted) -> (
+    match List.assoc_opt attr assignment.(v).attrs with
+    | Some actual -> compare_values cmp actual wanted
+    | None -> false)
+
+let satisfies spec machines =
+  List.length machines = Ast.arity spec
+  && eval spec.Ast.formula (Array.of_list machines)
+
+(* Backtracking over assignments of distinct machines to variables;
+   [choose] ranks candidates so that troupe extension prefers current
+   members.  Reports the first solution in candidate order, which by
+   the ranking is one of minimal symmetric difference. *)
+let search spec ~candidates =
+  let n = Ast.arity spec in
+  let assignment = Array.make n { machine_id = -1; attrs = [] } in
+  let used = Hashtbl.create 8 in
+  let rec assign i =
+    if i = n then
+      if eval spec.Ast.formula assignment then Some (Array.to_list assignment) else None
+    else
+      let rec try_candidates = function
+        | [] -> None
+        | m :: rest ->
+          if Hashtbl.mem used m.machine_id then try_candidates rest
+          else begin
+            assignment.(i) <- m;
+            Hashtbl.replace used m.machine_id ();
+            match assign (i + 1) with
+            | Some _ as solution -> solution
+            | None ->
+              Hashtbl.remove used m.machine_id;
+              try_candidates rest
+          end
+      in
+      try_candidates candidates
+  in
+  assign 0
+
+let instantiate spec ~universe = search spec ~candidates:universe
+
+let extend spec ~universe ~current =
+  (* Enumerate all solutions and keep the one with the smallest
+     symmetric difference from the current member set. *)
+  let n = Ast.arity spec in
+  let assignment = Array.make n { machine_id = -1; attrs = [] } in
+  let used = Hashtbl.create 8 in
+  let best = ref None in
+  let score machines =
+    let ids = List.map (fun m -> m.machine_id) machines in
+    let removed = List.length (List.filter (fun id -> not (List.mem id ids)) current) in
+    let added = List.length (List.filter (fun id -> not (List.mem id current)) ids) in
+    removed + added
+  in
+  let consider () =
+    if eval spec.Ast.formula assignment then begin
+      let machines = Array.to_list assignment in
+      let s = score machines in
+      match !best with
+      | Some (s', _) when s' <= s -> ()
+      | Some _ | None -> best := Some (s, machines)
+    end
+  in
+  let rec assign i =
+    if i = n then consider ()
+    else
+      List.iter
+        (fun m ->
+          if not (Hashtbl.mem used m.machine_id) then begin
+            assignment.(i) <- m;
+            Hashtbl.replace used m.machine_id ();
+            assign (i + 1);
+            Hashtbl.remove used m.machine_id
+          end)
+        universe
+  in
+  assign 0;
+  Option.map snd !best

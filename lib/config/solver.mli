@@ -1,0 +1,30 @@
+(** Evaluation and the troupe extension problem (§7.5.3).
+
+    Given a specification phi(x1, ..., xn), a universe of machines with
+    attributes, and a current set M, find M' = \{m1, ..., mn\} satisfying
+    phi and as close to M as possible (minimal symmetric difference).
+    Instantiation is the case M = empty-set.  Backtracking exhaustive search;
+    exponential in the number of variables, which is acceptable given
+    the small size of troupe specifications (the paper's own
+    judgement). *)
+
+open Circus_net
+
+type machine = { machine_id : Addr.host_id; attrs : (string * Host.attribute_value) list }
+
+val machine_of_host : Host.t -> machine
+
+val eval : Ast.formula -> machine array -> bool
+(** Evaluate under an assignment of machines to variables (index [i]
+    of the array is variable [i]).  Missing attributes make comparisons
+    and properties false. *)
+
+val satisfies : Ast.spec -> machine list -> bool
+(** Do these (distinct) machines, in order, satisfy the spec? *)
+
+val instantiate : Ast.spec -> universe:machine list -> machine list option
+(** Any satisfying assignment of distinct machines, or [None]. *)
+
+val extend : Ast.spec -> universe:machine list -> current:Addr.host_id list -> machine list option
+(** The troupe extension problem: a satisfying assignment minimizing
+    the symmetric difference with [current]. *)

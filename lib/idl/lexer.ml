@@ -1,0 +1,105 @@
+type token =
+  | Ident of string
+  | Number of int
+  | Keyword of string
+  | Colon
+  | Semicolon
+  | Comma
+  | Equals
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Arrow
+  | Dot
+  | Eof
+
+exception Lex_error of { line : int; message : string }
+
+let keywords =
+  [ "PROGRAM"; "VERSION"; "BEGIN"; "END"; "TYPE"; "ERROR"; "PROCEDURE"; "RETURNS";
+    "REPORTS"; "ARRAY"; "SEQUENCE"; "OF"; "RECORD"; "CHOICE"; "BOOLEAN"; "CARDINAL";
+    "INTEGER"; "LONG"; "STRING"; "UNSPECIFIED" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize source =
+  let n = String.length source in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && source.[!i + 1] = '-' then begin
+      (* comment to end of line *)
+      while !i < n && source.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit source.[!i] do
+        incr i
+      done;
+      emit (Number (int_of_string (String.sub source start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char source.[!i] do
+        incr i
+      done;
+      let word = String.sub source start (!i - start) in
+      if List.mem word keywords then emit (Keyword word) else emit (Ident word)
+    end
+    else if c = '=' && !i + 1 < n && source.[!i + 1] = '>' then begin
+      emit Arrow;
+      i := !i + 2
+    end
+    else begin
+      (match c with
+      | ':' -> emit Colon
+      | ';' -> emit Semicolon
+      | ',' -> emit Comma
+      | '=' -> emit Equals
+      | '[' -> emit Lbracket
+      | ']' -> emit Rbracket
+      | '{' -> emit Lbrace
+      | '}' -> emit Rbrace
+      | '(' -> emit Lparen
+      | ')' -> emit Rparen
+      | '.' -> emit Dot
+      | c ->
+        raise (Lex_error { line = !line; message = Printf.sprintf "unexpected character %C" c }));
+      incr i
+    end
+  done;
+  emit Eof;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %s" s
+  | Number k -> Format.fprintf ppf "number %d" k
+  | Keyword s -> Format.fprintf ppf "keyword %s" s
+  | Colon -> Format.pp_print_string ppf "':'"
+  | Semicolon -> Format.pp_print_string ppf "';'"
+  | Comma -> Format.pp_print_string ppf "','"
+  | Equals -> Format.pp_print_string ppf "'='"
+  | Lbracket -> Format.pp_print_string ppf "'['"
+  | Rbracket -> Format.pp_print_string ppf "']'"
+  | Lbrace -> Format.pp_print_string ppf "'{'"
+  | Rbrace -> Format.pp_print_string ppf "'}'"
+  | Lparen -> Format.pp_print_string ppf "'('"
+  | Rparen -> Format.pp_print_string ppf "')'"
+  | Arrow -> Format.pp_print_string ppf "'=>'"
+  | Dot -> Format.pp_print_string ppf "'.'"
+  | Eof -> Format.pp_print_string ppf "end of input"

@@ -1,0 +1,27 @@
+(** Hand-written lexer for the Courier-like interface language. *)
+
+type token =
+  | Ident of string
+  | Number of int
+  | Keyword of string  (** PROGRAM, VERSION, BEGIN, END, TYPE, ERROR, ... *)
+  | Colon
+  | Semicolon
+  | Comma
+  | Equals
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Arrow  (** [=>] in CHOICE cases *)
+  | Dot
+  | Eof
+
+exception Lex_error of { line : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Tokens with their line numbers.  Comments run from [--] to end of
+    line. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,246 @@
+open Lexer
+
+exception Parse_error of { line : int; message : string }
+
+type state = { mutable tokens : (token * int) list }
+
+let peek st = match st.tokens with (tok, line) :: _ -> (tok, line) | [] -> (Eof, 0)
+
+let advance st = match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let fail st message =
+  let _, line = peek st in
+  raise (Parse_error { line; message })
+
+let expect st tok =
+  let got, line = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Parse_error
+         { line;
+           message =
+             Format.asprintf "expected %a but found %a" Lexer.pp_token tok Lexer.pp_token got })
+
+let ident st =
+  match peek st with
+  | Ident name, _ ->
+    advance st;
+    name
+  | _ -> fail st "expected an identifier"
+
+let number st =
+  match peek st with
+  | Number k, _ ->
+    advance st;
+    k
+  | _ -> fail st "expected a number"
+
+let keyword st kw = expect st (Keyword kw)
+
+let rec parse_type st : Ast.ty =
+  match peek st with
+  | Keyword "BOOLEAN", _ ->
+    advance st;
+    Ast.Boolean
+  | Keyword "CARDINAL", _ ->
+    advance st;
+    Ast.Cardinal
+  | Keyword "INTEGER", _ ->
+    advance st;
+    Ast.Integer
+  | Keyword "STRING", _ ->
+    advance st;
+    Ast.String
+  | Keyword "UNSPECIFIED", _ ->
+    advance st;
+    Ast.Unspecified
+  | Keyword "LONG", _ -> (
+    advance st;
+    match peek st with
+    | Keyword "CARDINAL", _ ->
+      advance st;
+      Ast.Long_cardinal
+    | Keyword "INTEGER", _ ->
+      advance st;
+      Ast.Long_integer
+    | _ -> fail st "expected CARDINAL or INTEGER after LONG")
+  | Ident name, _ ->
+    advance st;
+    Ast.Named name
+  | Lbrace, _ -> Ast.Enumeration (parse_enum_cases st)
+  | Keyword "ARRAY", _ ->
+    advance st;
+    let n = number st in
+    keyword st "OF";
+    Ast.Array (n, parse_type st)
+  | Keyword "SEQUENCE", _ ->
+    advance st;
+    keyword st "OF";
+    Ast.Sequence (parse_type st)
+  | Keyword "RECORD", _ ->
+    advance st;
+    expect st Lbracket;
+    let fields = parse_fields st in
+    expect st Rbracket;
+    Ast.Record fields
+  | Keyword "CHOICE", _ ->
+    advance st;
+    keyword st "OF";
+    expect st Lbrace;
+    let rec cases () =
+      let name = ident st in
+      expect st Lparen;
+      let tag = number st in
+      expect st Rparen;
+      expect st Arrow;
+      let ty = parse_type st in
+      match peek st with
+      | Comma, _ ->
+        advance st;
+        (name, tag, ty) :: cases ()
+      | _ -> [ (name, tag, ty) ]
+    in
+    let cs = cases () in
+    expect st Rbrace;
+    Ast.Choice cs
+  | _ -> fail st "expected a type"
+
+and parse_enum_cases st =
+  expect st Lbrace;
+  let rec cases () =
+    let name = ident st in
+    expect st Lparen;
+    let v = number st in
+    expect st Rparen;
+    match peek st with
+    | Comma, _ ->
+      advance st;
+      (name, v) :: cases ()
+    | _ -> [ (name, v) ]
+  in
+  let cs = cases () in
+  expect st Rbrace;
+  cs
+
+(* names ":" type ("," names ":" type)* — each name group shares a
+   type, as in "a, b: CARDINAL, c: STRING". *)
+and parse_fields st : Ast.field list =
+  let rec names () =
+    let n = ident st in
+    match peek st with
+    | Comma, _ -> (
+      (* Lookahead: a comma is followed either by another name of this
+         group or, after "name : type", the next group.  Distinguish by
+         checking whether the token after the identifier is a colon or
+         comma (same group) versus something else. *)
+      advance st;
+      match peek st with
+      | Ident _, _ -> n :: names ()
+      | _ -> fail st "expected a field name after ','")
+    | Colon, _ ->
+      advance st;
+      [ n ]
+    | _ -> fail st "expected ',' or ':' in field list"
+  in
+  let group () =
+    let ns = names () in
+    let ty = parse_type st in
+    List.map (fun field_name -> { Ast.field_name; field_type = ty }) ns
+  in
+  let rec groups acc =
+    let acc = acc @ group () in
+    match peek st with
+    | Comma, _ ->
+      advance st;
+      groups acc
+    | _ -> acc
+  in
+  groups []
+
+let parse_opt_args st =
+  match peek st with
+  | Lbracket, _ ->
+    advance st;
+    let fields = parse_fields st in
+    expect st Rbracket;
+    fields
+  | _ -> []
+
+let parse_decl st name : Ast.decl =
+  match peek st with
+  | Keyword "TYPE", _ ->
+    advance st;
+    expect st Equals;
+    let ty = parse_type st in
+    expect st Semicolon;
+    Ast.Type_decl (name, ty)
+  | Keyword "ERROR", _ ->
+    advance st;
+    let error_args = parse_opt_args st in
+    expect st Equals;
+    let error_code = number st in
+    expect st Semicolon;
+    Ast.Error_decl { error_name = name; error_args; error_code }
+  | Keyword "PROCEDURE", _ ->
+    advance st;
+    let proc_args = parse_opt_args st in
+    let proc_results =
+      match peek st with
+      | Keyword "RETURNS", _ ->
+        advance st;
+        expect st Lbracket;
+        let fields = parse_fields st in
+        expect st Rbracket;
+        fields
+      | _ -> []
+    in
+    let proc_reports =
+      match peek st with
+      | Keyword "REPORTS", _ ->
+        advance st;
+        expect st Lbracket;
+        let rec idents () =
+          let n = ident st in
+          match peek st with
+          | Comma, _ ->
+            advance st;
+            n :: idents ()
+          | _ -> [ n ]
+        in
+        let names = idents () in
+        expect st Rbracket;
+        names
+      | _ -> []
+    in
+    expect st Equals;
+    let proc_code = number st in
+    expect st Semicolon;
+    Ast.Proc_decl { proc_name = name; proc_args; proc_results; proc_reports; proc_code }
+  | _ -> fail st "expected TYPE, ERROR, or PROCEDURE"
+
+let parse source =
+  let st = { tokens = Lexer.tokenize source } in
+  let program_name = ident st in
+  expect st Colon;
+  keyword st "PROGRAM";
+  let program_no = number st in
+  keyword st "VERSION";
+  let version = number st in
+  expect st Equals;
+  keyword st "BEGIN";
+  let rec decls acc =
+    match peek st with
+    | Keyword "END", _ ->
+      advance st;
+      List.rev acc
+    | Ident name, _ ->
+      advance st;
+      expect st Colon;
+      decls (parse_decl st name :: acc)
+    | _ -> fail st "expected a declaration or END"
+  in
+  let decls = decls [] in
+  expect st Dot;
+  expect st Eof;
+  { Ast.program_name; program_no; version; decls }

@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the Courier-like interface language.
+
+    Grammar (after Figure 7.2):
+    {v
+      program   ::= IDENT ":" PROGRAM NUMBER VERSION NUMBER "="
+                    BEGIN decl* END "."
+      decl      ::= IDENT ":" TYPE "=" type ";"
+                  | IDENT ":" ERROR args? "=" NUMBER ";"
+                  | IDENT ":" PROCEDURE args? (RETURNS fields)?
+                    (REPORTS "[" idents "]")? "=" NUMBER ";"
+      args      ::= "[" fieldlist "]"
+      fieldlist ::= names ":" type ("," names ":" type)*
+      type      ::= BOOLEAN | CARDINAL | LONG CARDINAL | INTEGER
+                  | LONG INTEGER | STRING | UNSPECIFIED | IDENT
+                  | "{" IDENT "(" NUMBER ")" ("," ...)* "}"
+                  | ARRAY NUMBER OF type
+                  | SEQUENCE OF type
+                  | RECORD "[" fieldlist "]"
+                  | CHOICE OF "{" IDENT "(" NUMBER ")" "=>" type ("," ...)* "}"
+    v} *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)

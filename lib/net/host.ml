@@ -1,0 +1,93 @@
+open Circus_sim
+
+type attribute_value =
+  | Str of string
+  | Num of float
+  | Flag of bool
+
+type t = {
+  id : Addr.host_id;
+  name : string;
+  engine : Engine.t;
+  clock_offset : float;
+  attributes : (string * attribute_value) list;
+  mutable alive : bool;
+  mutable incarnation : int;
+  mutable cpu_busy_until : float;
+  mutable cpu_total : float;
+  mutable fibers : Fiber.t list;
+  mutable crash_hooks : (unit -> unit) list;
+}
+
+let create engine ~id ?name ?(clock_offset = 0.0) ?(attributes = []) () =
+  let name = match name with Some n -> n | None -> Printf.sprintf "host%d" id in
+  { id;
+    name;
+    engine;
+    clock_offset;
+    attributes;
+    alive = true;
+    incarnation = 1;
+    cpu_busy_until = 0.0;
+    cpu_total = 0.0;
+    fibers = [];
+    crash_hooks = [] }
+
+let id t = t.id
+let name t = t.name
+let engine t = t.engine
+let is_alive t = t.alive
+let incarnation t = t.incarnation
+let attributes t = t.attributes
+let attribute t key = List.assoc_opt key t.attributes
+
+let spawn t ?label f =
+  let label = match label with Some l -> l | None -> t.name ^ "/fiber" in
+  let fiber =
+    Fiber.spawn t.engine ~label (fun () -> if t.alive then f ())
+  in
+  if t.alive then begin
+    t.fibers <- fiber :: t.fibers;
+    Fiber.on_terminate fiber (fun () ->
+        t.fibers <- List.filter (fun f' -> Fiber.id f' <> Fiber.id fiber) t.fibers)
+  end
+  else Fiber.cancel fiber;
+  fiber
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    let fibers = t.fibers in
+    t.fibers <- [];
+    List.iter Fiber.cancel fibers;
+    let hooks = t.crash_hooks in
+    t.crash_hooks <- [];
+    List.iter (fun hook -> hook ()) hooks
+  end
+
+let restart t =
+  if not t.alive then begin
+    t.alive <- true;
+    t.incarnation <- t.incarnation + 1;
+    t.cpu_busy_until <- Engine.now t.engine
+  end
+
+let on_crash t hook = if t.alive then t.crash_hooks <- hook :: t.crash_hooks
+
+let gettimeofday t = Engine.now t.engine +. t.clock_offset
+
+let use_cpu t ?meter ~kind cost =
+  if cost < 0.0 then invalid_arg "Host.use_cpu: negative cost";
+  let now = Engine.now t.engine in
+  let start = if t.cpu_busy_until > now then t.cpu_busy_until else now in
+  t.cpu_busy_until <- start +. cost;
+  t.cpu_total <- t.cpu_total +. cost;
+  (match meter with
+  | None -> ()
+  | Some m -> (
+    match kind with
+    | `User -> Meter.charge_user m cost
+    | `Kernel name -> Meter.charge_kernel m ~name cost));
+  Fiber.sleep (t.cpu_busy_until -. now)
+
+let cpu_time t = t.cpu_total

@@ -1,0 +1,60 @@
+(** Simulated fail-stop machine (§2.1.1, §3.5.1).
+
+    A host runs fibers, has a serially-occupied CPU with user/kernel
+    cost accounting, a local clock with bounded skew, and an attribute
+    list used by the troupe configuration language (§7.5.2).  Hosts
+    crash (all fibers are killed, volatile state is lost) and may later
+    be restarted with a new incarnation number — the fail-stop model. *)
+
+type t
+
+type attribute_value =
+  | Str of string
+  | Num of float
+  | Flag of bool
+
+val create :
+  Circus_sim.Engine.t ->
+  id:Addr.host_id ->
+  ?name:string ->
+  ?clock_offset:float ->
+  ?attributes:(string * attribute_value) list ->
+  unit ->
+  t
+
+val id : t -> Addr.host_id
+val name : t -> string
+val engine : t -> Circus_sim.Engine.t
+val is_alive : t -> bool
+val incarnation : t -> int
+
+val attributes : t -> (string * attribute_value) list
+val attribute : t -> string -> attribute_value option
+
+val spawn : t -> ?label:string -> (unit -> unit) -> Circus_sim.Fiber.t
+(** Spawn a fiber on this host; it is cancelled if the host crashes.
+    Spawning on a dead host returns a fiber that never runs. *)
+
+val crash : t -> unit
+(** Fail-stop: kill all fibers, run crash hooks, mark dead. *)
+
+val restart : t -> unit
+(** Bring a crashed host back with a fresh incarnation.  Volatile state
+    (fibers, anything the crash hooks cleared) is gone. *)
+
+val on_crash : t -> (unit -> unit) -> unit
+(** Register a hook run when the host crashes (e.g. to close its
+    network ports). *)
+
+val gettimeofday : t -> float
+(** Local clock: engine time plus this host's constant offset.  The
+    synchronized-clocks assumption of §5.4 holds when offsets are
+    bounded. *)
+
+val use_cpu : t -> ?meter:Meter.t -> kind:[ `User | `Kernel of string ] -> float -> unit
+(** Occupy this host's CPU for the given number of seconds, queueing
+    behind other CPU users, and charge the optional meter.  Must run in
+    a fiber. *)
+
+val cpu_time : t -> float
+(** Total CPU seconds consumed on this host since creation. *)

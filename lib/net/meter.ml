@@ -1,0 +1,52 @@
+type t = {
+  mutable user : float;
+  mutable kernel : float;
+  syscalls : (string, float ref * int ref) Hashtbl.t;
+}
+
+let create () = { user = 0.0; kernel = 0.0; syscalls = Hashtbl.create 8 }
+
+let reset t =
+  t.user <- 0.0;
+  t.kernel <- 0.0;
+  Hashtbl.reset t.syscalls
+
+let charge_user t cost = t.user <- t.user +. cost
+
+let charge_kernel t ~name cost =
+  t.kernel <- t.kernel +. cost;
+  match Hashtbl.find_opt t.syscalls name with
+  | Some (time, count) ->
+    time := !time +. cost;
+    incr count
+  | None -> Hashtbl.add t.syscalls name (ref cost, ref 1)
+
+let user t = t.user
+let kernel t = t.kernel
+let total t = t.user +. t.kernel
+
+let by_syscall t =
+  Hashtbl.fold (fun name (time, count) acc -> (name, !time, !count) :: acc) t.syscalls []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let snapshot t =
+  let copy = create () in
+  copy.user <- t.user;
+  copy.kernel <- t.kernel;
+  Hashtbl.iter (fun name (time, count) -> Hashtbl.add copy.syscalls name (ref !time, ref !count)) t.syscalls;
+  copy
+
+let diff ~after ~before =
+  let d = create () in
+  d.user <- after.user -. before.user;
+  d.kernel <- after.kernel -. before.kernel;
+  Hashtbl.iter
+    (fun name (time, count) ->
+      let time0, count0 =
+        match Hashtbl.find_opt before.syscalls name with
+        | Some (t0, c0) -> (!t0, !c0)
+        | None -> (0.0, 0)
+      in
+      Hashtbl.add d.syscalls name (ref (!time -. time0), ref (!count - count0)))
+    after.syscalls;
+  d

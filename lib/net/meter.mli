@@ -1,0 +1,30 @@
+(** Per-process CPU accounting, the simulated [getrusage].
+
+    The experiments in chapter 4 of the paper report user-mode and
+    kernel-mode CPU time per call, and an execution profile attributing
+    kernel time to individual system calls (Tables 4.1–4.3).  A meter
+    accumulates exactly those quantities for one simulated process. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val charge_user : t -> float -> unit
+val charge_kernel : t -> name:string -> float -> unit
+
+val user : t -> float
+(** Accumulated user-mode CPU seconds. *)
+
+val kernel : t -> float
+(** Accumulated kernel-mode CPU seconds. *)
+
+val total : t -> float
+
+val by_syscall : t -> (string * float * int) list
+(** [(name, cpu_seconds, calls)] per system call, sorted by name. *)
+
+val snapshot : t -> t
+(** Copy of the current counters (for before/after differencing). *)
+
+val diff : after:t -> before:t -> t

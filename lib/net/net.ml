@@ -1,0 +1,188 @@
+open Circus_sim
+
+type params = {
+  propagation : float;
+  per_byte : float;
+  jitter_mean : float;
+  loss : float;
+  duplication : float;
+  mtu : int;
+}
+
+let default_params =
+  { propagation = 0.0002;
+    per_byte = 0.8e-6;
+    jitter_mean = 0.0003;
+    loss = 0.0;
+    duplication = 0.0;
+    mtu = 1472 }
+
+let lan ?(loss = 0.0) ?(duplication = 0.0) ?(jitter_mean = default_params.jitter_mean) () =
+  { default_params with loss; duplication; jitter_mean }
+
+type datagram = { src : Addr.t; dst : Addr.t; payload : bytes }
+
+type socket = {
+  addr : Addr.t;
+  owner : Host.t;
+  mailbox : datagram Mailbox.t;
+  mutable closed : bool;
+}
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable bytes_sent : int;
+}
+
+type t = {
+  engine : Engine.t;
+  params : params;
+  prng : Prng.t;
+  mutable host_table : Host.t list;  (* newest first *)
+  mutable next_host_id : int;
+  ports : (Addr.host_id * int, socket) Hashtbl.t;
+  ephemeral : (Addr.host_id, int ref) Hashtbl.t;
+  mutable partition : Addr.host_id list list option;
+  stats : stats;
+}
+
+let create engine ?(params = default_params) () =
+  { engine;
+    params;
+    prng = Prng.split (Engine.prng engine);
+    host_table = [];
+    next_host_id = 0;
+    ports = Hashtbl.create 64;
+    ephemeral = Hashtbl.create 16;
+    partition = None;
+    stats = { sent = 0; delivered = 0; dropped = 0; duplicated = 0; bytes_sent = 0 } }
+
+let engine t = t.engine
+let params t = t.params
+
+let add_host t ?name ?clock_offset ?attributes () =
+  let id = t.next_host_id in
+  t.next_host_id <- id + 1;
+  let host = Host.create t.engine ~id ?name ?clock_offset ?attributes () in
+  t.host_table <- host :: t.host_table;
+  host
+
+let host t id =
+  match List.find_opt (fun h -> Host.id h = id) t.host_table with
+  | Some h -> h
+  | None -> raise Not_found
+
+let hosts t = List.rev t.host_table
+
+let close sock =
+  if not sock.closed then begin
+    sock.closed <- true;
+    Mailbox.clear sock.mailbox
+  end
+
+let udp_bind t host ?port () =
+  if not (Host.is_alive host) then invalid_arg "Net.udp_bind: host is dead";
+  let assign () =
+    let counter =
+      match Hashtbl.find_opt t.ephemeral (Host.id host) with
+      | Some c -> c
+      | None ->
+        let c = ref 1024 in
+        Hashtbl.add t.ephemeral (Host.id host) c;
+        c
+    in
+    let rec free () =
+      incr counter;
+      if Hashtbl.mem t.ports (Host.id host, !counter) then free () else !counter
+    in
+    free ()
+  in
+  let port = match port with Some p -> p | None -> assign () in
+  let key = (Host.id host, port) in
+  (match Hashtbl.find_opt t.ports key with
+  | Some existing when not existing.closed ->
+    invalid_arg (Printf.sprintf "Net.udp_bind: port %d in use on host %d" port (Host.id host))
+  | Some _ | None -> ());
+  let sock =
+    { addr = Addr.make ~host:(Host.id host) ~port;
+      owner = host;
+      mailbox = Mailbox.create t.engine;
+      closed = false }
+  in
+  Hashtbl.replace t.ports key sock;
+  Host.on_crash host (fun () -> close sock);
+  sock
+
+let socket_addr sock = sock.addr
+let socket_host sock = sock.owner
+let mailbox sock = sock.mailbox
+
+let set_partition t groups = t.partition <- Some groups
+let heal_partition t = t.partition <- None
+
+let reachable t a b =
+  match t.partition with
+  | None -> true
+  | Some groups -> a = b || List.exists (fun g -> List.mem a g && List.mem b g) groups
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.sent <- 0;
+  t.stats.delivered <- 0;
+  t.stats.dropped <- 0;
+  t.stats.duplicated <- 0;
+  t.stats.bytes_sent <- 0
+
+(* Schedule delivery of one copy of a datagram.  Liveness and binding
+   are re-checked at arrival time: a host that crashes in flight never
+   sees the packet. *)
+let deliver_copy t dgram delay =
+  ignore
+    (Engine.schedule t.engine ~delay (fun () ->
+         match Hashtbl.find_opt t.ports (dgram.dst.Addr.host, dgram.dst.Addr.port) with
+         | Some sock
+           when (not sock.closed)
+                && Host.is_alive sock.owner
+                && Addr.equal sock.addr dgram.dst ->
+           t.stats.delivered <- t.stats.delivered + 1;
+           Mailbox.send sock.mailbox dgram
+         | Some _ | None -> t.stats.dropped <- t.stats.dropped + 1))
+
+let transit_delay t len =
+  t.params.propagation
+  +. (t.params.per_byte *. float_of_int len)
+  +. Prng.exponential t.prng ~mean:t.params.jitter_mean
+
+let send_one t dgram =
+  let len = Bytes.length dgram.payload in
+  if not (reachable t dgram.src.Addr.host dgram.dst.Addr.host) then
+    t.stats.dropped <- t.stats.dropped + 1
+  else begin
+    let copies = if Prng.bool t.prng ~p:t.params.duplication then 2 else 1 in
+    if copies = 2 then t.stats.duplicated <- t.stats.duplicated + 1;
+    for _ = 1 to copies do
+      if Prng.bool t.prng ~p:t.params.loss then t.stats.dropped <- t.stats.dropped + 1
+      else deliver_copy t dgram (transit_delay t len)
+    done
+  end
+
+let check_mtu t payload =
+  if Bytes.length payload > t.params.mtu then
+    invalid_arg
+      (Printf.sprintf "Net.send: payload %d exceeds MTU %d" (Bytes.length payload) t.params.mtu)
+
+let send t ~src ~dst payload =
+  check_mtu t payload;
+  t.stats.sent <- t.stats.sent + 1;
+  t.stats.bytes_sent <- t.stats.bytes_sent + Bytes.length payload;
+  send_one t { src; dst; payload }
+
+let send_multicast t ~src ~dsts payload =
+  check_mtu t payload;
+  t.stats.sent <- t.stats.sent + 1;
+  t.stats.bytes_sent <- t.stats.bytes_sent + Bytes.length payload;
+  List.iter (fun dst -> send_one t { src; dst; payload }) dsts

@@ -1,0 +1,99 @@
+(** Simulated internetwork of fail-stop hosts (§2.2).
+
+    Packets are unreliably delivered: they may be lost, delayed,
+    duplicated, or (per the paper's checksum assumption) arrive intact
+    — garbling is folded into loss.  The network supports point-to-point
+    datagrams and Ethernet-style multicast, plus partitions for the
+    experiments of §4.3.5.
+
+    This module is pure data plane: it charges no CPU.  {!Syscall}
+    layers the 4.2BSD cost model on top. *)
+
+type t
+
+type params = {
+  propagation : float;  (** one-way base latency, seconds *)
+  per_byte : float;  (** transmission time per payload byte *)
+  jitter_mean : float;  (** mean of exponential delay jitter *)
+  loss : float;  (** per-copy drop probability *)
+  duplication : float;  (** per-datagram duplication probability *)
+  mtu : int;  (** maximum datagram payload, bytes *)
+}
+
+val default_params : params
+(** 10 Mb/s Ethernet-like: 0.2 ms propagation, 0.8 us/byte, 0.3 ms mean
+    jitter, lossless, 1472-byte MTU. *)
+
+val lan : ?loss:float -> ?duplication:float -> ?jitter_mean:float -> unit -> params
+
+type datagram = { src : Addr.t; dst : Addr.t; payload : bytes }
+
+type socket
+(** A bound UDP-style endpoint. *)
+
+val create : Circus_sim.Engine.t -> ?params:params -> unit -> t
+val engine : t -> Circus_sim.Engine.t
+val params : t -> params
+
+val add_host :
+  t ->
+  ?name:string ->
+  ?clock_offset:float ->
+  ?attributes:(string * Host.attribute_value) list ->
+  unit ->
+  Host.t
+(** Create and register a new host with the next free id. *)
+
+val host : t -> Addr.host_id -> Host.t
+(** Raises [Not_found] for unknown ids. *)
+
+val hosts : t -> Host.t list
+
+(** {1 Sockets} *)
+
+val udp_bind : t -> Host.t -> ?port:int -> unit -> socket
+(** Bind a datagram socket.  Without [port] an ephemeral port is
+    assigned.  Raises [Invalid_argument] if the port is taken or the
+    host is dead.  The socket is closed automatically if the host
+    crashes. *)
+
+val close : socket -> unit
+val socket_addr : socket -> Addr.t
+val socket_host : socket -> Host.t
+val mailbox : socket -> datagram Circus_sim.Mailbox.t
+(** The receive buffer; exposed for {!Syscall.select}. *)
+
+(** {1 Data plane} *)
+
+val send : t -> src:Addr.t -> dst:Addr.t -> bytes -> unit
+(** Inject one datagram.  Applies loss, duplication, and delay; silently
+    drops if the destination is dead, unbound, or partitioned away.
+    Raises [Invalid_argument] if the payload exceeds the MTU. *)
+
+val send_multicast : t -> src:Addr.t -> dsts:Addr.t list -> bytes -> unit
+(** One transmission delivered to every destination with independent
+    loss and jitter (reliability may vary from recipient to recipient,
+    §2.2). *)
+
+(** {1 Failures} *)
+
+val set_partition : t -> Addr.host_id list list -> unit
+(** Partition the network into the given groups.  Hosts sharing a group
+    communicate; others cannot.  A host absent from every group is
+    isolated. *)
+
+val heal_partition : t -> unit
+val reachable : t -> Addr.host_id -> Addr.host_id -> bool
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable bytes_sent : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,103 @@
+open Circus_sim
+
+type costs = {
+  sendmsg : float;
+  recvmsg : float;
+  select : float;
+  setitimer : float;
+  gettimeofday : float;
+  sigblock : float;
+  read : float;
+  write : float;
+}
+
+let default_costs =
+  { sendmsg = 8.1e-3;
+    recvmsg = 2.8e-3;
+    select = 1.8e-3;
+    setitimer = 1.2e-3;
+    gettimeofday = 0.7e-3;
+    sigblock = 0.4e-3;
+    read = 3.4e-3;
+    write = 4.4e-3 }
+
+let fast_costs =
+  let scale x = x /. 100.0 in
+  { sendmsg = scale default_costs.sendmsg;
+    recvmsg = scale default_costs.recvmsg;
+    select = scale default_costs.select;
+    setitimer = scale default_costs.setitimer;
+    gettimeofday = scale default_costs.gettimeofday;
+    sigblock = scale default_costs.sigblock;
+    read = scale default_costs.read;
+    write = scale default_costs.write }
+
+type env = { net : Net.t; costs : costs }
+
+let make net ?(costs = default_costs) () = { net; costs }
+let net env = env.net
+let costs env = env.costs
+
+let charge _env ?meter host ~name cost = Host.use_cpu host ?meter ~kind:(`Kernel name) cost
+
+let sendmsg env ?meter sock ~dst payload =
+  charge env ?meter (Net.socket_host sock) ~name:"sendmsg" env.costs.sendmsg;
+  Net.send env.net ~src:(Net.socket_addr sock) ~dst payload
+
+let sendmsg_multicast env ?meter sock ~dsts payload =
+  charge env ?meter (Net.socket_host sock) ~name:"sendmsg" env.costs.sendmsg;
+  Net.send_multicast env.net ~src:(Net.socket_addr sock) ~dsts payload
+
+let recvmsg env ?meter ?timeout sock =
+  match Mailbox.recv ?timeout (Net.mailbox sock) with
+  | Some dgram ->
+    charge env ?meter (Net.socket_host sock) ~name:"recvmsg" env.costs.recvmsg;
+    Some dgram
+  | None -> None
+
+let select env ?meter ?timeout socks =
+  (match socks with
+  | [] -> invalid_arg "Syscall.select: no sockets"
+  | sock :: _ -> charge env ?meter (Net.socket_host sock) ~name:"select" env.costs.select);
+  let readable () = List.exists (fun s -> Mailbox.length (Net.mailbox s) > 0) socks in
+  if readable () then true
+  else begin
+    let watchers = ref [] in
+    let timer = ref None in
+    let cleanup () =
+      List.iter (fun (mb, w) -> Mailbox.unwatch mb w) !watchers;
+      match !timer with Some h -> Engine.cancel h | None -> ()
+    in
+    let result =
+      try
+        Fiber.suspend (fun wake ->
+            List.iter
+              (fun s ->
+                let mb = Net.mailbox s in
+                watchers := (mb, Mailbox.watch mb (fun () -> wake (Ok true))) :: !watchers)
+              socks;
+            match timeout with
+            | None -> ()
+            | Some duration ->
+              timer :=
+                Some
+                  (Engine.schedule (Net.engine env.net) ~delay:duration (fun () ->
+                       wake (Ok false))))
+      with e ->
+        cleanup ();
+        raise e
+    in
+    cleanup ();
+    result
+  end
+
+let setitimer env ?meter host = charge env ?meter host ~name:"setitimer" env.costs.setitimer
+
+let gettimeofday env ?meter host =
+  charge env ?meter host ~name:"gettimeofday" env.costs.gettimeofday;
+  Host.gettimeofday host
+
+let sigblock env ?meter host = charge env ?meter host ~name:"sigblock" env.costs.sigblock
+let read_stream env ?meter host = charge env ?meter host ~name:"read" env.costs.read
+let write_stream env ?meter host = charge env ?meter host ~name:"write" env.costs.write
+let compute _env ?meter host seconds = Host.use_cpu host ?meter ~kind:`User seconds

@@ -1,0 +1,72 @@
+(** The 4.2BSD system-call layer with CPU cost accounting.
+
+    Every operation occupies the calling host's CPU for a
+    per-call kernel-mode cost and charges the caller's {!Meter}.  The
+    default costs are the paper's own measurements (Table 4.2): on a
+    VAX-11/750, [sendmsg] 8.1 ms, [recvmsg] 2.8 ms, [select] 1.8 ms,
+    [setitimer] 1.2 ms, [gettimeofday] 0.7 ms, [sigblock] 0.4 ms.  The
+    streamlined TCP [read]/[write] path is cheaper than the
+    scatter/gather datagram path — that inversion is what makes the TCP
+    echo beat the UDP echo in Table 4.1.
+
+    All calls must run in a fiber executing on the socket's host. *)
+
+type costs = {
+  sendmsg : float;
+  recvmsg : float;
+  select : float;
+  setitimer : float;
+  gettimeofday : float;
+  sigblock : float;
+  read : float;  (** byte-stream read, used by the TCP baseline *)
+  write : float;  (** byte-stream write, used by the TCP baseline *)
+}
+
+val default_costs : costs
+(** Table 4.2 values, in seconds. *)
+
+val fast_costs : costs
+(** The same profile scaled down 100×: a machine a couple of hardware
+    generations past the VAX-11/750.  Use for application-level
+    simulations where the point is protocol behaviour, not 1985 CPU
+    accounting; the measurement benches keep {!default_costs}. *)
+
+type env
+
+val make : Net.t -> ?costs:costs -> unit -> env
+val net : env -> Net.t
+val costs : env -> costs
+
+val sendmsg : env -> ?meter:Meter.t -> Net.socket -> dst:Addr.t -> bytes -> unit
+(** Transmit one datagram (kernel cost charged, then injected into the
+    network). *)
+
+val sendmsg_multicast : env -> ?meter:Meter.t -> Net.socket -> dsts:Addr.t list -> bytes -> unit
+(** One [sendmsg]-priced transmission reaching every destination — the
+    Ethernet multicast capability §4.3.7 wishes for. *)
+
+val recvmsg : env -> ?meter:Meter.t -> ?timeout:float -> Net.socket -> Net.datagram option
+(** Blocking receive; [None] on timeout.  The kernel cost is charged
+    only when a datagram is returned. *)
+
+val select : env -> ?meter:Meter.t -> ?timeout:float -> Net.socket list -> bool
+(** Block until any socket is readable ([true]) or the timeout expires
+    ([false]). *)
+
+val setitimer : env -> ?meter:Meter.t -> Host.t -> unit
+(** Charge for arming or disarming the interval timer. *)
+
+val gettimeofday : env -> ?meter:Meter.t -> Host.t -> float
+(** The host's local clock reading (charged). *)
+
+val sigblock : env -> ?meter:Meter.t -> Host.t -> unit
+(** Charge for masking software interrupts (critical-region entry or
+    exit). *)
+
+val read_stream : env -> ?meter:Meter.t -> Host.t -> unit
+val write_stream : env -> ?meter:Meter.t -> Host.t -> unit
+(** Charges for the TCP byte-stream path; the stream protocol itself
+    lives in [Circus_pairmsg.Stream]. *)
+
+val compute : env -> ?meter:Meter.t -> Host.t -> float -> unit
+(** Consume user-mode CPU (marshaling, protocol bookkeeping). *)

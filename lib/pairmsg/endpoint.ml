@@ -1,0 +1,467 @@
+open Circus_sim
+open Circus_net
+
+exception Crashed of Addr.t
+exception Rejected of Addr.t
+
+type config = {
+  retransmit_interval : float;
+  max_retransmits : int;
+  probe_interval : float;
+  crash_timeout : float;
+  user_cost_per_call : float;
+  user_cost_per_segment : float;
+}
+
+let default_config =
+  { retransmit_interval = 0.1;
+    max_retransmits = 10;
+    probe_interval = 0.5;
+    crash_timeout = 2.0;
+    user_cost_per_call = 3.0e-3;
+    user_cost_per_segment = 1.4e-3 }
+
+type outgoing = {
+  o_dst : Addr.t;
+  o_type : Segment.msg_type;
+  o_call_no : int32;
+  o_segments : bytes array;
+  mutable o_acked : int;  (* highest consecutively acked segment number *)
+  mutable o_done : bool;
+  mutable o_failed : bool;
+}
+
+type incoming = {
+  i_total : int;
+  mutable i_parts : bytes option array;  (* emptied once assembled *)
+  mutable i_ack_no : int;
+  mutable i_complete : bool;
+  mutable i_postponed_ack : bool;
+  mutable i_body : bytes;  (* valid once complete *)
+}
+
+type reply = { from : Addr.t; result : (bytes, exn) result }
+
+type exchange = {
+  x_dst : Addr.t;
+  x_call_no : int32;
+  x_out : outgoing;
+  mutable x_last_activity : float;
+  mutable x_finished : bool;
+  mutable x_watchdog : Fiber.t option;
+  x_deliver : (bytes, exn) result -> unit;
+}
+
+type t = {
+  env : Syscall.env;
+  host : Host.t;
+  sock : Net.socket;
+  meter : Meter.t;
+  config : config;
+  engine : Engine.t;
+  mutable counter : int32;
+  outgoing : (Addr.t * Segment.msg_type * int32, outgoing) Hashtbl.t;
+  incoming : (Addr.t * Segment.msg_type * int32, incoming) Hashtbl.t;
+  exchanges : (Addr.t * int32, exchange) Hashtbl.t;
+  completed : (Addr.t, int32) Hashtbl.t;  (* highest executed incoming call per peer *)
+  executed : (Addr.t * int32, unit) Hashtbl.t;  (* exactly-once guard *)
+  mutable handler : (src:Addr.t -> call_no:int32 -> bytes -> unit) option;
+  mutable closed : bool;
+  mutable demux : Fiber.t option;
+  mutable completions : int;  (* drives periodic pruning *)
+}
+
+let addr t = Net.socket_addr t.sock
+let meter t = t.meter
+let host t = t.host
+let env t = t.env
+
+let next_call_no t =
+  t.counter <- Int32.add t.counter 1l;
+  t.counter
+
+let seg_size t = (Net.params (Syscall.net t.env)).Net.mtu - Segment.header_size
+
+(* ------------------------------------------------------------------ *)
+(* Sending *)
+
+let send_segment t ~dst seg = Syscall.sendmsg t.env ~meter:t.meter t.sock ~dst (Segment.encode seg)
+
+let send_ack t ~dst ~msg_type ~total ~ack_no ~call_no =
+  send_segment t ~dst (Segment.ack_segment ~msg_type ~total ~ack_no ~call_no)
+
+(* Retransmission per §4.2.2: periodically resend the first
+   unacknowledged segment with the please-ack bit, resetting the give-up
+   counter whenever the acknowledgment number advances. *)
+let retransmit_loop t out =
+  let attempts = ref 0 in
+  let last_acked = ref out.o_acked in
+  while (not out.o_done) && not out.o_failed do
+    Syscall.setitimer t.env ~meter:t.meter t.host;
+    Fiber.sleep t.config.retransmit_interval;
+    if (not out.o_done) && not out.o_failed then begin
+      if out.o_acked > !last_acked then begin
+        last_acked := out.o_acked;
+        attempts := 0
+      end;
+      incr attempts;
+      if !attempts > t.config.max_retransmits then out.o_failed <- true
+      else begin
+        let next = out.o_acked + 1 in
+        if next <= Array.length out.o_segments then
+          send_segment t ~dst:out.o_dst
+            (Segment.data_segment ~msg_type:out.o_type ~please_ack:true
+               ~total:(Array.length out.o_segments) ~seg_no:next ~call_no:out.o_call_no
+               out.o_segments.(next - 1))
+      end
+    end
+  done;
+  Syscall.setitimer t.env ~meter:t.meter t.host (* disarm *)
+
+let start_outgoing t ~dst ~msg_type ~call_no body ~send_burst =
+  let segments = Array.of_list (Segment.split_message ~mtu:(seg_size t + Segment.header_size) body) in
+  let out =
+    { o_dst = dst; o_type = msg_type; o_call_no = call_no; o_segments = segments;
+      o_acked = 0; o_done = false; o_failed = false }
+  in
+  Hashtbl.replace t.outgoing (dst, msg_type, call_no) out;
+  if send_burst then
+    Array.iteri
+      (fun i data ->
+        Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_segment;
+        send_segment t ~dst
+          (Segment.data_segment ~msg_type ~total:(Array.length segments) ~seg_no:(i + 1)
+             ~call_no data))
+      out.o_segments;
+  ignore (Host.spawn t.host ~label:"pairmsg.retransmit" (fun () -> retransmit_loop t out));
+  out
+
+let finish_outgoing t out =
+  out.o_done <- true;
+  Hashtbl.remove t.outgoing (out.o_dst, out.o_type, out.o_call_no)
+
+(* ------------------------------------------------------------------ *)
+(* Client exchanges *)
+
+let finish_exchange t x result =
+  if not x.x_finished then begin
+    x.x_finished <- true;
+    Hashtbl.remove t.exchanges (x.x_dst, x.x_call_no);
+    if not x.x_out.o_done then finish_outgoing t x.x_out;
+    (match x.x_watchdog with Some f -> Fiber.cancel f | None -> ());
+    x.x_deliver result
+  end
+
+(* Crash detection per §4.2.3: once the call message is fully
+   acknowledged, probe the server periodically; give up after
+   [crash_timeout] of silence. *)
+let watchdog_loop t x =
+  while not x.x_finished do
+    Syscall.setitimer t.env ~meter:t.meter t.host;
+    Fiber.sleep t.config.probe_interval;
+    if not x.x_finished then begin
+      if x.x_out.o_failed then finish_exchange t x (Error (Crashed x.x_dst))
+      else begin
+        let idle = Engine.now t.engine -. x.x_last_activity in
+        if idle >= t.config.crash_timeout then finish_exchange t x (Error (Crashed x.x_dst))
+        else if x.x_out.o_done && idle >= t.config.probe_interval then
+          send_segment t ~dst:x.x_dst (Segment.probe ~call_no:x.x_call_no)
+      end
+    end
+  done
+
+let start_exchange t ~dst ~call_no out deliver =
+  let x =
+    { x_dst = dst; x_call_no = call_no; x_out = out;
+      x_last_activity = Engine.now t.engine; x_finished = false; x_watchdog = None;
+      x_deliver = deliver }
+  in
+  Hashtbl.replace t.exchanges (dst, call_no) x;
+  (* Client-side buffering (§4.3.4): a server using the first-come
+     broadcast policy may have sent our return message before we made
+     the call; if it is already here, the exchange completes at once. *)
+  (match Hashtbl.find_opt t.incoming (dst, Segment.Return, call_no) with
+  | Some inc when inc.i_complete -> finish_exchange t x (Ok inc.i_body)
+  | Some _ | None ->
+    x.x_watchdog <-
+      Some (Host.spawn t.host ~label:"pairmsg.watchdog" (fun () -> watchdog_loop t x)));
+  x
+
+let call_many t ~dsts ?(multicast = false) ?call_no body =
+  if dsts = [] then invalid_arg "Endpoint.call_many: no destinations";
+  if t.closed then invalid_arg "Endpoint.call_many: endpoint closed";
+  let call_no = match call_no with Some n -> n | None -> next_call_no t in
+  let replies = Mailbox.create t.engine in
+  ignore (Syscall.gettimeofday t.env ~meter:t.meter t.host);
+  Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_call;
+  if multicast then begin
+    (* One transmission per segment reaches the whole troupe; the
+       per-destination outgoing records are created without their own
+       burst, so only retransmissions are point-to-point. *)
+    let segments = Segment.split_message ~mtu:(seg_size t + Segment.header_size) body in
+    let total = List.length segments in
+    List.iteri
+      (fun i data ->
+        Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_segment;
+        Syscall.sendmsg_multicast t.env ~meter:t.meter t.sock ~dsts
+          (Segment.encode
+             (Segment.data_segment ~msg_type:Segment.Call ~total ~seg_no:(i + 1) ~call_no
+                (Bytes.of_string (Bytes.to_string data)))))
+      segments
+  end;
+  List.iter
+    (fun dst ->
+      let out = start_outgoing t ~dst ~msg_type:Segment.Call ~call_no body ~send_burst:(not multicast) in
+      ignore
+        (start_exchange t ~dst ~call_no out (fun result ->
+             Mailbox.send replies { from = dst; result })))
+    dsts;
+  replies
+
+let call t ~dst ?call_no body =
+  let replies = call_many t ~dsts:[ dst ] ?call_no body in
+  match Mailbox.recv replies with
+  | Some { result = Ok body; _ } ->
+    ignore (Syscall.gettimeofday t.env ~meter:t.meter t.host);
+    body
+  | Some { result = Error e; _ } -> raise e
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Server side *)
+
+let set_handler t handler = t.handler <- Some handler
+
+let reply t ~dst ~call_no body =
+  Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_call;
+  ignore (start_outgoing t ~dst ~msg_type:Segment.Return ~call_no body ~send_burst:true)
+
+let serve t f =
+  set_handler t (fun ~src ~call_no body -> reply t ~dst:src ~call_no (f ~src body))
+
+(* ------------------------------------------------------------------ *)
+(* Demultiplexer *)
+
+let completed_up_to t peer =
+  match Hashtbl.find_opt t.completed peer with Some n -> n | None -> 0l
+
+let touch_exchange t ~src ~call_no =
+  match Hashtbl.find_opt t.exchanges (src, call_no) with
+  | Some x -> x.x_last_activity <- Engine.now t.engine
+  | None -> ()
+
+(* Drop reassembly state for exchanges superseded by newer completed
+   calls from the same peer; run occasionally. *)
+let prune t =
+  let stale =
+    Hashtbl.fold
+      (fun (peer, mt, call_no) inc acc ->
+        let horizon = Int32.sub (completed_up_to t peer) 64l in
+        if Int32.compare call_no horizon < 0 && inc.i_complete then (peer, mt, call_no) :: acc
+        else acc)
+      t.incoming []
+  in
+  List.iter (Hashtbl.remove t.incoming) stale;
+  let stale_executed =
+    Hashtbl.fold
+      (fun (peer, call_no) () acc ->
+        if Int32.compare call_no (Int32.sub (completed_up_to t peer) 64l) < 0 then
+          (peer, call_no) :: acc
+        else acc)
+      t.executed []
+  in
+  List.iter (Hashtbl.remove t.executed) stale_executed
+
+let assemble inc =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun part -> match part with Some b -> Buffer.add_bytes buf b | None -> assert false)
+    inc.i_parts;
+  inc.i_body <- Buffer.to_bytes buf;
+  inc.i_parts <- [||]
+
+let handle_ack t ~src seg =
+  touch_exchange t ~src ~call_no:seg.Segment.call_no;
+  match Hashtbl.find_opt t.outgoing (src, seg.Segment.msg_type, seg.Segment.call_no) with
+  | None -> ()
+  | Some out ->
+    if seg.Segment.seg_no > out.o_acked then out.o_acked <- seg.Segment.seg_no;
+    if out.o_acked >= Array.length out.o_segments then finish_outgoing t out
+
+let handle_probe t ~src call_no =
+  let known =
+    Hashtbl.mem t.incoming (src, Segment.Call, call_no)
+    || Hashtbl.mem t.outgoing (src, Segment.Return, call_no)
+    || Int32.compare call_no (completed_up_to t src) <= 0
+  in
+  if known then send_segment t ~dst:src (Segment.probe_ack ~call_no)
+  else send_segment t ~dst:src (Segment.reject ~call_no)
+
+(* Implicit acknowledgments (§4.2.2): a return segment acknowledges the
+   matching call message; a call segment acknowledges any earlier
+   return message sent to that peer. *)
+let implicit_acks t ~src seg =
+  match seg.Segment.msg_type with
+  | Segment.Return -> (
+    touch_exchange t ~src ~call_no:seg.Segment.call_no;
+    match Hashtbl.find_opt t.outgoing (src, Segment.Call, seg.Segment.call_no) with
+    | Some out -> finish_outgoing t out
+    | None -> ())
+  | Segment.Call ->
+    let stale =
+      Hashtbl.fold
+        (fun (dst, mt, cn) out acc ->
+          if
+            Addr.equal dst src && mt = Segment.Return
+            && Int32.compare cn seg.Segment.call_no < 0
+          then out :: acc
+          else acc)
+        t.outgoing []
+    in
+    List.iter (finish_outgoing t) stale
+  | Segment.Probe | Segment.Probe_ack | Segment.Reject -> ()
+
+let deliver_call t ~src ~call_no body =
+  if not (Hashtbl.mem t.executed (src, call_no)) then begin
+    Hashtbl.replace t.executed (src, call_no) ();
+    if Int32.compare call_no (completed_up_to t src) > 0 then
+      Hashtbl.replace t.completed src call_no;
+    match t.handler with
+    | None -> send_segment t ~dst:src (Segment.reject ~call_no)
+    | Some handler ->
+      (* Server process per incoming call (§3.4.1). *)
+      ignore
+        (Host.spawn t.host ~label:"pairmsg.server" (fun () ->
+             handler ~src ~call_no body))
+  end
+
+let deliver_return t ~src ~call_no body =
+  match Hashtbl.find_opt t.exchanges (src, call_no) with
+  | Some x -> finish_exchange t x (Ok body)
+  | None -> ()
+
+let handle_data t ~src seg =
+  implicit_acks t ~src seg;
+  let call_no = seg.Segment.call_no in
+  let msg_type = seg.Segment.msg_type in
+  (* Suppress replays: a call we already executed whose reassembly state
+     is gone, or one so old it predates the dedup window.  A merely
+     higher completed call number is NOT a replay — concurrent calls
+     from one peer may arrive out of order. *)
+  let replayed =
+    msg_type = Segment.Call
+    && ((Hashtbl.mem t.executed (src, call_no)
+         && not (Hashtbl.mem t.incoming (src, msg_type, call_no)))
+       || Int32.compare call_no (Int32.sub (completed_up_to t src) 64l) < 0)
+  in
+  if not replayed then begin
+    let key = (src, msg_type, call_no) in
+    let inc =
+      match Hashtbl.find_opt t.incoming key with
+      | Some inc -> inc
+      | None ->
+        let inc =
+          { i_total = seg.Segment.total;
+            i_parts = Array.make seg.Segment.total None;
+            i_ack_no = 0;
+            i_complete = false;
+            i_postponed_ack = false;
+            i_body = Bytes.empty }
+        in
+        Hashtbl.replace t.incoming key inc;
+        inc
+    in
+    if not inc.i_complete then begin
+      let idx = seg.Segment.seg_no - 1 in
+      if idx >= 0 && idx < inc.i_total then begin
+        (* Out-of-order arrival: acknowledge immediately so the sender
+           retransmits the first lost segment (§4.2.4). *)
+        if seg.Segment.seg_no > inc.i_ack_no + 1 then
+          send_ack t ~dst:src ~msg_type ~total:inc.i_total ~ack_no:inc.i_ack_no ~call_no;
+        if inc.i_parts.(idx) = None then begin
+          inc.i_parts.(idx) <- Some seg.Segment.data;
+          Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_segment;
+          while inc.i_ack_no < inc.i_total && inc.i_parts.(inc.i_ack_no) <> None do
+            inc.i_ack_no <- inc.i_ack_no + 1
+          done
+        end;
+        if inc.i_ack_no = inc.i_total then begin
+          inc.i_complete <- true;
+          assemble inc;
+          t.completions <- t.completions + 1;
+          if t.completions mod 64 = 0 then prune t;
+          match msg_type with
+          | Segment.Call -> deliver_call t ~src ~call_no inc.i_body
+          | Segment.Return -> deliver_return t ~src ~call_no inc.i_body
+          | Segment.Probe | Segment.Probe_ack | Segment.Reject -> ()
+        end
+      end
+    end;
+    if seg.Segment.please_ack then begin
+      (* Postpone acknowledging a freshly completed call once, hoping the
+         return message will serve as the implicit acknowledgment. *)
+      let awaiting_reply =
+        msg_type = Segment.Call && inc.i_complete
+        && not (Hashtbl.mem t.outgoing (src, Segment.Return, call_no))
+      in
+      if awaiting_reply && not inc.i_postponed_ack then inc.i_postponed_ack <- true
+      else send_ack t ~dst:src ~msg_type ~total:inc.i_total ~ack_no:inc.i_ack_no ~call_no
+    end
+  end
+
+let handle_segment t ~src seg =
+  match seg.Segment.msg_type with
+  | Segment.Probe -> handle_probe t ~src seg.Segment.call_no
+  | Segment.Probe_ack -> touch_exchange t ~src ~call_no:seg.Segment.call_no
+  | Segment.Reject -> (
+    match Hashtbl.find_opt t.exchanges (src, seg.Segment.call_no) with
+    | Some x -> finish_exchange t x (Error (Rejected src))
+    | None -> ())
+  | Segment.Call | Segment.Return ->
+    if seg.Segment.ack then handle_ack t ~src seg else handle_data t ~src seg
+
+let demux_loop t () =
+  while not t.closed do
+    if Syscall.select t.env ~meter:t.meter [ t.sock ] then begin
+      match Syscall.recvmsg t.env ~meter:t.meter t.sock with
+      | None -> ()
+      | Some dgram -> (
+        Syscall.sigblock t.env ~meter:t.meter t.host;
+        match Segment.decode dgram.Net.payload with
+        | None -> ()  (* garbled: treated as lost *)
+        | Some seg -> handle_segment t ~src:dgram.Net.src seg)
+    end
+  done
+
+let create env host ?port ?(config = default_config) ?meter () =
+  let meter = match meter with Some m -> m | None -> Meter.create () in
+  let sock = Net.udp_bind (Syscall.net env) host ?port () in
+  let t =
+    { env;
+      host;
+      sock;
+      meter;
+      config;
+      engine = Host.engine host;
+      counter = 0l;
+      outgoing = Hashtbl.create 32;
+      incoming = Hashtbl.create 32;
+      exchanges = Hashtbl.create 32;
+      completed = Hashtbl.create 16;
+      executed = Hashtbl.create 64;
+      handler = None;
+      closed = false;
+      demux = None;
+      completions = 0 }
+  in
+  t.demux <- Some (Host.spawn host ~label:"pairmsg.demux" (fun () -> demux_loop t ()));
+  Host.on_crash host (fun () -> t.closed <- true);
+  t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.demux with Some f -> Fiber.cancel f | None -> ());
+    Hashtbl.iter (fun _ x -> match x.x_watchdog with Some f -> Fiber.cancel f | None -> ()) t.exchanges;
+    Net.close t.sock
+  end

@@ -1,0 +1,32 @@
+(** A TCP-like reliable byte-stream baseline (Figure 4.6).
+
+    Provides connections with a three-way handshake, in-order reliable
+    delivery of framed messages, and kernel-managed retransmission:
+    unlike the user-level Circus protocol, acknowledgments and timers
+    cost the application no [setitimer]/[select]/[sigblock] traffic —
+    only the streamlined [read] and [write] system calls are charged.
+    This reproduces the (initially surprising) observation of §4.4.1
+    that the TCP echo test outruns the UDP echo test. *)
+
+open Circus_net
+
+type listener
+type conn
+
+val listen : Syscall.env -> Host.t -> port:int -> listener
+val accept : listener -> conn
+(** Block until a connection is established. *)
+
+val connect : Syscall.env -> Host.t -> ?meter:Meter.t -> dst:Addr.t -> unit -> conn
+(** Three-way handshake with a listener; raises [Failure] if the peer
+    does not answer. *)
+
+val set_meter : conn -> Meter.t -> unit
+
+val send : conn -> bytes -> unit
+(** Write one framed message (charged one [write] per call). *)
+
+val recv : ?timeout:float -> conn -> bytes option
+(** Read the next framed message (charged one [read] on success). *)
+
+val close : conn -> unit

@@ -1,0 +1,21 @@
+(** The UDP echo baseline of Figure 4.5.
+
+    The client performs exactly the paper's loop — [sendmsg],
+    [alarm(timeout)], [recvmsg], [alarm(0)] — and the server loops on
+    [recvmsg]/[sendmsg].  This establishes the lower bound for any
+    paired message protocol built on unreliable datagrams
+    (Table 4.1, first row). *)
+
+open Circus_net
+
+val start_server : Syscall.env -> Host.t -> port:int -> unit
+(** Spawn the echo server loop on the given host. *)
+
+type client
+
+val client : Syscall.env -> Host.t -> dst:Addr.t -> ?meter:Meter.t -> unit -> client
+val client_meter : client -> Meter.t
+
+val echo : client -> ?timeout:float -> bytes -> bytes
+(** One datagram exchange, retried on timeout.  Must run in a fiber on
+    the client's host. *)

@@ -1,0 +1,117 @@
+open Circus_net
+
+type reply = { from : Addr.module_addr; message : Rpc_msg.return_msg option }
+type t = total:int -> reply Seq.t -> Rpc_msg.return_msg
+
+exception Disagreement
+exception No_majority
+exception Troupe_failed
+
+let unanimous ~total:_ replies =
+  let representative = ref None in
+  Seq.iter
+    (fun r ->
+      match r.message with
+      | None -> ()  (* crashed member: correction, not disagreement *)
+      | Some msg -> (
+        match !representative with
+        | None -> representative := Some msg
+        | Some first -> if msg <> first then raise Disagreement))
+    replies;
+  match !representative with Some msg -> msg | None -> raise Troupe_failed
+
+let first_come ~total:_ replies =
+  let rec scan s =
+    match s () with
+    | Seq.Nil -> raise Troupe_failed
+    | Seq.Cons (r, rest) -> ( match r.message with Some msg -> msg | None -> scan rest)
+  in
+  scan replies
+
+(* Accept as soon as some message reaches [threshold] copies; fail as
+   soon as it can no longer be reached. *)
+let count_votes ~threshold ~total replies =
+  let votes : (Rpc_msg.return_msg * int ref) list ref = ref [] in
+  let seen = ref 0 in
+  let rec scan s =
+    match s () with
+    | Seq.Nil -> raise No_majority
+    | Seq.Cons (r, rest) -> (
+      incr seen;
+      match r.message with
+      | None ->
+        (* A lost vote: can any message still reach the threshold? *)
+        let remaining = total - !seen in
+        let best = List.fold_left (fun acc (_, n) -> max acc !n) 0 !votes in
+        if best + remaining < threshold then raise No_majority else scan rest
+      | Some msg -> (
+        let n =
+          match List.find_opt (fun (m, _) -> m = msg) !votes with
+          | Some (_, n) -> n
+          | None ->
+            let n = ref 0 in
+            votes := (msg, n) :: !votes;
+            n
+        in
+        incr n;
+        if !n >= threshold then msg
+        else
+          let remaining = total - !seen in
+          let best = List.fold_left (fun acc (_, n) -> max acc !n) 0 !votes in
+          if best + remaining < threshold then raise No_majority else scan rest))
+  in
+  scan replies
+
+let majority ~total replies =
+  let threshold = (total / 2) + 1 in
+  count_votes ~threshold ~total replies
+
+let quorum k ~total replies =
+  if k < 1 || k > total then invalid_arg "Collator.quorum: bad quorum size";
+  try count_votes ~threshold:k ~total replies with No_majority -> raise Troupe_failed
+
+(* Weighted voting: like [count_votes] but each member's message carries
+   its configured weight. *)
+let weighted_quorum ~weights ~threshold ~total replies =
+  if threshold < 1 then invalid_arg "Collator.weighted_quorum: bad threshold";
+  let weight_of from =
+    match List.find_opt (fun (m, _) -> Addr.equal_module m from) weights with
+    | Some (_, w) -> w
+    | None -> 1
+  in
+  let total_weight =
+    (* conservative upper bound on the outstanding weight: assume every
+       not-yet-seen member could carry the heaviest configured weight *)
+    let max_weight = List.fold_left (fun acc (_, w) -> max acc w) 1 weights in
+    total * max_weight
+  in
+  let votes : (Rpc_msg.return_msg * int ref) list ref = ref [] in
+  let spent = ref 0 in
+  let rec scan s =
+    match s () with
+    | Seq.Nil -> raise No_majority
+    | Seq.Cons (r, rest) -> (
+      let w = weight_of r.from in
+      spent := !spent + w;
+      match r.message with
+      | None ->
+        let best = List.fold_left (fun acc (_, n) -> max acc !n) 0 !votes in
+        if best + (total_weight - !spent) < threshold then raise No_majority else scan rest
+      | Some msg ->
+        let n =
+          match List.find_opt (fun (m, _) -> m = msg) !votes with
+          | Some (_, n) -> n
+          | None ->
+            let n = ref 0 in
+            votes := (msg, n) :: !votes;
+            n
+        in
+        n := !n + w;
+        if !n >= threshold then msg
+        else
+          let best = List.fold_left (fun acc (_, n) -> max acc !n) 0 !votes in
+          if best + (total_weight - !spent) < threshold then raise No_majority else scan rest)
+  in
+  scan replies
+
+let custom f = f

@@ -1,0 +1,36 @@
+module Codec = Circus_wire.Codec
+
+module Thread_id = struct
+  type t = { origin : Circus_net.Addr.host_id; pid : int }
+
+  let equal a b = a.origin = b.origin && a.pid = b.pid
+
+  let compare a b =
+    let c = Int.compare a.origin b.origin in
+    if c <> 0 then c else Int.compare a.pid b.pid
+
+  let pp ppf t = Format.fprintf ppf "t%d.%d" t.origin t.pid
+
+  let codec =
+    Codec.map
+      (fun (origin, pid) -> { origin; pid })
+      (fun { origin; pid } -> (origin, pid))
+      (Codec.pair Codec.int Codec.int)
+end
+
+module Troupe_id = struct
+  type t = int64
+
+  let none = 0L
+  let equal = Int64.equal
+  let pp ppf t = Format.fprintf ppf "troupe#%Ld" t
+  let codec = Codec.int64
+
+  (* Sequential ids in a seed-distinguished namespace: unique across
+     binding agents, identical across deterministic replicas. *)
+  let generator ~seed =
+    let counter = ref 0L in
+    fun () ->
+      counter := Int64.add !counter 1L;
+      Int64.logor (Int64.shift_left (Int64.of_int seed) 32) !counter
+end

@@ -1,0 +1,49 @@
+module Codec = Circus_wire.Codec
+module Buf = Circus_wire.Buf
+
+type call = {
+  thread : Ids.Thread_id.t;
+  seq : int64;
+  client_troupe : Ids.Troupe_id.t;
+  server_troupe : Ids.Troupe_id.t;
+  module_no : int;
+  proc_no : int;
+  args : bytes;
+}
+
+type return_msg =
+  | Ok_result of bytes
+  | App_error of string
+  | Stale_troupe
+  | No_such_module
+  | No_such_procedure
+
+let call_codec =
+  Codec.map
+    (fun (thread, seq, (client_troupe, server_troupe), (module_no, proc_no, args)) ->
+      { thread; seq; client_troupe; server_troupe; module_no; proc_no; args })
+    (fun { thread; seq; client_troupe; server_troupe; module_no; proc_no; args } ->
+      (thread, seq, (client_troupe, server_troupe), (module_no, proc_no, args)))
+    (Codec.quad Ids.Thread_id.codec Codec.int64
+       (Codec.pair Ids.Troupe_id.codec Ids.Troupe_id.codec)
+       (Codec.triple Codec.uint16 Codec.uint16 Codec.bytes))
+
+let return_codec =
+  let tag = function
+    | Ok_result _ -> 0
+    | App_error _ -> 1
+    | Stale_troupe -> 2
+    | No_such_module -> 3
+    | No_such_procedure -> 4
+  in
+  Codec.variant ~tag
+    ~cases:
+      [ ( 0,
+          (fun w v -> match v with Ok_result b -> Codec.write Codec.bytes w b | _ -> assert false),
+          fun r -> Ok_result (Codec.read Codec.bytes r) );
+        ( 1,
+          (fun w v -> match v with App_error e -> Codec.write Codec.string w e | _ -> assert false),
+          fun r -> App_error (Codec.read Codec.string r) );
+        (2, (fun _ _ -> ()), fun _ -> Stale_troupe);
+        (3, (fun _ _ -> ()), fun _ -> No_such_module);
+        (4, (fun _ _ -> ()), fun _ -> No_such_procedure) ]

@@ -1,0 +1,33 @@
+(** Call and return message bodies (§4.3).
+
+    A call message carries the caller's thread ID (for the propagation
+    algorithm of §3.4.1), the client and destination troupe IDs (§4.3.2
+    and the incarnation-number check of §6.2), the module and procedure
+    numbers assigned by the stub compiler, and the externalized
+    parameters.  A return message is a small header distinguishing
+    normal from error results, plus the externalized results. *)
+
+type call = {
+  thread : Ids.Thread_id.t;
+  seq : int64;
+      (** per-thread call sequence number (§4.3.2): deterministic
+          replicas of a client troupe stamp the same value on the call
+          messages of one replicated call.  Computed hierarchically so
+          that nested calls made during different executions of the
+          same thread never collide. *)
+  client_troupe : Ids.Troupe_id.t;
+  server_troupe : Ids.Troupe_id.t;
+  module_no : int;
+  proc_no : int;
+  args : bytes;
+}
+
+type return_msg =
+  | Ok_result of bytes
+  | App_error of string  (** exception raised by the procedure *)
+  | Stale_troupe  (** destination troupe ID mismatch: rebind (§6.2) *)
+  | No_such_module
+  | No_such_procedure
+
+val call_codec : call Circus_wire.Codec.t
+val return_codec : return_msg Circus_wire.Codec.t

@@ -1,0 +1,459 @@
+open Circus_sim
+open Circus_net
+open Circus_pairmsg
+module Codec = Circus_wire.Codec
+
+exception Remote_error of string
+exception Stale_binding of Ids.Troupe_id.t
+exception Bad_interface
+
+type server_policy =
+  | Wait_all
+  | Wait_majority
+  | First_come of { broadcast : bool }
+
+type config = { straggler_timeout : float; retention : float }
+
+let default_config = { straggler_timeout = 2.0; retention = 10.0 }
+
+type dispatch =
+  | Simple of (ctx -> proc_no:int -> bytes -> bytes)
+      (** arguments from all client members assumed identical
+          (determinism); the procedure sees one set *)
+  | Collated of (ctx -> proc_no:int -> expected:int -> bytes list -> bytes)
+      (** explicit replication at the server (§7.4, Figure 7.7): the
+          procedure sees every client member's arguments, plus the size
+          of the client troupe (missing members crashed or deadlocked) *)
+
+and export = {
+  dispatch : dispatch;
+  policy : server_policy;
+  mutable troupe_id : Ids.Troupe_id.t option;
+}
+
+and m2o_state = Waiting | Executing | Done of Rpc_msg.return_msg
+
+and m2o = {
+  m2o_call : Rpc_msg.call;
+  mutable m2o_expected : int;  (* max_int until the client troupe is resolved *)
+  (* src, that member's paired-message call number, its arguments;
+     newest first *)
+  mutable m2o_received : (Addr.t * int32 * bytes) list;
+  mutable m2o_replied : Addr.t list;
+  mutable m2o_state : m2o_state;
+  mutable m2o_timer : Engine.handle option;
+}
+
+and t = {
+  endpoint : Endpoint.t;
+  host : Host.t;
+  env : Syscall.env;
+  engine : Engine.t;
+  config : config;
+  exports : (int, export) Hashtbl.t;
+  state_providers : (int, unit -> bytes) Hashtbl.t;
+  mutable next_module : int;
+  mutable resolver : Ids.Troupe_id.t -> Addr.t list option;
+  mutable self_troupe : Ids.Troupe_id.t;
+  mutable self_troupe_module : int option;
+      (* when set, set_troupe_id on that module also renames our client
+         identity — the process IS a member of that troupe *)
+  mutable thread_counter : int;
+  m2o_table : (Ids.Thread_id.t * int64 * int, m2o) Hashtbl.t;
+}
+
+and ctx = {
+  thread : Ids.Thread_id.t;
+  tag : int64;  (* identity of the call being executed; 0 at the base *)
+  mutable next_seq : int;  (* calls this execution has made so far *)
+  rt : t;
+}
+
+(* SplitMix64-style mixing: a nested call's sequence number is derived
+   from the enclosing call's identity and the position of the nested
+   call within it, so deterministic replicas agree and distinct
+   executions never collide. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_call_seq ctx =
+  let seq = mix64 (Int64.add ctx.tag (Int64.of_int (ctx.next_seq + 1))) in
+  ctx.next_seq <- ctx.next_seq + 1;
+  seq
+
+(* The base of a thread is tagged by the thread's own identity, so two
+   distinct threads never collide even at sequence position zero. *)
+let root_tag (thread : Ids.Thread_id.t) =
+  mix64
+    (Int64.logxor
+       (Int64.shift_left (Int64.of_int thread.Ids.Thread_id.origin) 32)
+       (Int64.of_int thread.Ids.Thread_id.pid))
+
+let endpoint t = t.endpoint
+let meter t = Endpoint.meter t.endpoint
+let host t = t.host
+let addr t = Endpoint.addr t.endpoint
+let close t = Endpoint.close t.endpoint
+let thread_id ctx = ctx.thread
+let runtime ctx = ctx.rt
+let set_self_troupe t id = t.self_troupe <- id
+let set_self_troupe_follows t module_no = t.self_troupe_module <- module_no
+let set_resolver t resolver = t.resolver <- resolver
+
+(* Troupe IDs minted by one binding agent increase over time, so a
+   reconfiguration can only move an identity forward: a push that lost
+   a race against a newer one must not regress it. *)
+let id_newer candidate current = Int64.unsigned_compare candidate current > 0
+
+let adopt_self_troupe t id = if id_newer id t.self_troupe then t.self_troupe <- id
+
+let module_addr t module_no = Addr.module_addr (addr t) module_no
+
+(* ------------------------------------------------------------------ *)
+(* Server half: the many-to-one call algorithm (§4.3.2) *)
+
+let expected_calls t client_troupe =
+  if Ids.Troupe_id.equal client_troupe Ids.Troupe_id.none then 1
+  else match t.resolver client_troupe with Some members -> List.length members | None -> 1
+
+let send_return t ~dst ~pair_no msg =
+  Endpoint.reply t.endpoint ~dst ~call_no:pair_no (Codec.encode Rpc_msg.return_codec msg)
+
+let reply_waiters t m2o msg =
+  List.iter
+    (fun (src, pair_no, _) ->
+      if not (List.exists (Addr.equal src) m2o.m2o_replied) then begin
+        m2o.m2o_replied <- src :: m2o.m2o_replied;
+        send_return t ~dst:src ~pair_no msg
+      end)
+    m2o.m2o_received
+
+(* Two call messages belong to the same replicated call iff they bear
+   the same thread ID and call sequence number (§4.3.2). *)
+let m2o_key (call : Rpc_msg.call) = (call.Rpc_msg.thread, call.Rpc_msg.seq, call.Rpc_msg.module_no)
+
+let execute t export m2o =
+  if m2o.m2o_state = Waiting then begin
+    m2o.m2o_state <- Executing;
+    (match m2o.m2o_timer with Some h -> Engine.cancel h | None -> ());
+    let call = m2o.m2o_call in
+    (* The server process adopts the caller's thread ID for the duration
+       of the execution (§3.4.1). *)
+    let ctx = { thread = call.Rpc_msg.thread; tag = call.Rpc_msg.seq; next_seq = 0; rt = t } in
+    let run () =
+      match export.dispatch with
+      | Simple f -> f ctx ~proc_no:call.Rpc_msg.proc_no call.Rpc_msg.args
+      | Collated f ->
+        let args_in_arrival_order = List.rev_map (fun (_, _, args) -> args) m2o.m2o_received in
+        f ctx ~proc_no:call.Rpc_msg.proc_no ~expected:m2o.m2o_expected args_in_arrival_order
+    in
+    let result =
+      match run () with
+      | body -> Rpc_msg.Ok_result body
+      | exception Remote_error e -> Rpc_msg.App_error e
+      | exception Fiber.Cancelled -> raise Fiber.Cancelled
+      | exception e -> Rpc_msg.App_error (Printexc.to_string e)
+    in
+    m2o.m2o_state <- Done result;
+    reply_waiters t m2o result;
+    (match export.policy with
+    | First_come { broadcast = true } -> (
+      (* Send the return to the whole client troupe so that slow members
+         find it already waiting (§4.3.4).  Deterministic members share
+         the paired-message call number of the member that called. *)
+      match (t.resolver call.Rpc_msg.client_troupe, m2o.m2o_received) with
+      | Some members, (_, pair_no, _) :: _ ->
+        List.iter
+          (fun member ->
+            if not (List.exists (Addr.equal member) m2o.m2o_replied) then begin
+              m2o.m2o_replied <- member :: m2o.m2o_replied;
+              send_return t ~dst:member ~pair_no result
+            end)
+          members
+      | _, _ -> ())
+    | Wait_all | Wait_majority | First_come _ -> ());
+    (* Forget the call after the retention period; later duplicates are
+       answered by the paired message layer's own replay suppression. *)
+    ignore
+      (Engine.schedule t.engine ~delay:t.config.retention (fun () ->
+           Hashtbl.remove t.m2o_table (m2o_key call)))
+  end
+
+(* Management procedures present in every exported interface, produced
+   "automatically, in the same way that stub procedures are" (§6.2,
+   §6.4.1): changing the troupe ID during reconfiguration, externalizing
+   the module state for a joining member, and answering the binding
+   agent's are-you-there probes. *)
+let reserved_null_proc = 0xfffd
+let reserved_get_state_proc = 0xfffe
+let reserved_set_troupe_id_proc = 0xffff
+
+let set_state_provider t ~module_no get =
+  if not (Hashtbl.mem t.exports module_no) then
+    invalid_arg "Runtime.set_state_provider: unknown module";
+  Hashtbl.replace t.state_providers module_no get
+
+let handle_reserved t ~src ~pair_no (call : Rpc_msg.call) export =
+  if call.Rpc_msg.proc_no = reserved_set_troupe_id_proc then begin
+    (* Bypasses the stale check: this is how the troupe ID changes. *)
+    (match Codec.decode (Codec.option Ids.Troupe_id.codec) call.Rpc_msg.args with
+    | Some id ->
+      (match export.troupe_id with
+      | Some current when not (id_newer id current) -> ()
+      | Some _ | None -> export.troupe_id <- Some id);
+      if t.self_troupe_module = Some call.Rpc_msg.module_no then adopt_self_troupe t id
+    | None -> export.troupe_id <- None
+    | exception Codec.Decode_error _ -> ());
+    send_return t ~dst:src ~pair_no (Rpc_msg.Ok_result Bytes.empty);
+    true
+  end
+  else if call.Rpc_msg.proc_no = reserved_null_proc then begin
+    send_return t ~dst:src ~pair_no (Rpc_msg.Ok_result Bytes.empty);
+    true
+  end
+  else if call.Rpc_msg.proc_no = reserved_get_state_proc then begin
+    (match Hashtbl.find_opt t.state_providers call.Rpc_msg.module_no with
+    | Some get -> send_return t ~dst:src ~pair_no (Rpc_msg.Ok_result (get ()))
+    | None -> send_return t ~dst:src ~pair_no Rpc_msg.No_such_procedure);
+    true
+  end
+  else false
+
+let handle_call t ~src ~pair_no (call : Rpc_msg.call) =
+  match Hashtbl.find_opt t.exports call.Rpc_msg.module_no with
+  | None -> send_return t ~dst:src ~pair_no Rpc_msg.No_such_module
+  | Some export when handle_reserved t ~src ~pair_no call export -> ()
+  | Some export ->
+    let stale =
+      match export.troupe_id with
+      | Some id ->
+        (not (Ids.Troupe_id.equal call.Rpc_msg.server_troupe Ids.Troupe_id.none))
+        && not (Ids.Troupe_id.equal call.Rpc_msg.server_troupe id)
+      | None -> false
+    in
+    if stale then send_return t ~dst:src ~pair_no Rpc_msg.Stale_troupe
+    else begin
+      let key = m2o_key call in
+      let check_ready m2o =
+        match m2o.m2o_state with
+        | Done result ->
+          (* A slow client member: the buffered return is ready and
+             waiting — execution appears instantaneous (§4.3.4).  Reply
+             even if a broadcast was already sent, in case it was
+             lost. *)
+          m2o.m2o_replied <- src :: m2o.m2o_replied;
+          send_return t ~dst:src ~pair_no result
+        | Executing -> ()
+        | Waiting ->
+          let received = List.length m2o.m2o_received in
+          let ready =
+            match export.policy with
+            | Wait_all -> received >= m2o.m2o_expected
+            | Wait_majority -> m2o.m2o_expected < max_int && received > m2o.m2o_expected / 2
+            | First_come _ -> true
+          in
+          if ready then execute t export m2o
+      in
+      let m2o =
+        match Hashtbl.find_opt t.m2o_table key with
+        | Some m2o -> m2o
+        | None ->
+          (* Register before resolving the client troupe: resolution may
+             block on a binding-agent lookup, and the other members'
+             call messages must find this record, not fork their own. *)
+          let m2o =
+            { m2o_call = call;
+              m2o_expected = max_int;
+              m2o_received = [];
+              m2o_replied = [];
+              m2o_state = Waiting;
+              m2o_timer = None }
+          in
+          Hashtbl.replace t.m2o_table key m2o;
+          m2o.m2o_expected <- expected_calls t call.Rpc_msg.client_troupe;
+          (* Give up on silent client members after a timeout: they have
+             probably crashed (§4.3.5). *)
+          if m2o.m2o_state = Waiting then
+            m2o.m2o_timer <-
+              Some
+                (Engine.schedule t.engine ~delay:t.config.straggler_timeout (fun () ->
+                     if m2o.m2o_state = Waiting then
+                       ignore
+                         (Host.spawn t.host ~label:"rpc.straggler" (fun () ->
+                              execute t export m2o))));
+          m2o
+      in
+      if not (List.exists (fun (a, _, _) -> Addr.equal a src) m2o.m2o_received) then
+        m2o.m2o_received <- (src, pair_no, call.Rpc_msg.args) :: m2o.m2o_received;
+      check_ready m2o
+    end
+
+let export_dispatch t policy dispatch =
+  let module_no = t.next_module in
+  t.next_module <- module_no + 1;
+  Hashtbl.replace t.exports module_no { dispatch; policy; troupe_id = None };
+  module_no
+
+let export t ?(policy = Wait_all) f = export_dispatch t policy (Simple f)
+let export_collated t ?(policy = Wait_all) f = export_dispatch t policy (Collated f)
+
+let set_export_troupe t ~module_no troupe_id =
+  match Hashtbl.find_opt t.exports module_no with
+  | Some export -> export.troupe_id <- troupe_id
+  | None -> invalid_arg "Runtime.set_export_troupe: unknown module"
+
+let adopt_export_troupe t ~module_no id =
+  match Hashtbl.find_opt t.exports module_no with
+  | Some export -> (
+    match export.troupe_id with
+    | Some current when not (id_newer id current) -> ()
+    | Some _ | None -> export.troupe_id <- Some id)
+  | None -> invalid_arg "Runtime.adopt_export_troupe: unknown module"
+
+(* ------------------------------------------------------------------ *)
+(* Client half: the one-to-many call algorithm (§4.3.1) *)
+
+let spawn_thread t ?label f =
+  t.thread_counter <- t.thread_counter + 1;
+  let thread = { Ids.Thread_id.origin = Host.id t.host; pid = t.thread_counter } in
+  Host.spawn t.host ?label (fun () -> f { thread; tag = root_tag thread; next_seq = 0; rt = t })
+
+let spawn_thread_as t ~thread ?label f =
+  Host.spawn t.host ?label (fun () -> f { thread; tag = root_tag thread; next_seq = 0; rt = t })
+
+let detached_ctx t =
+  t.thread_counter <- t.thread_counter + 1;
+  let thread = { Ids.Thread_id.origin = Host.id t.host; pid = t.thread_counter } in
+  { thread; tag = root_tag thread; next_seq = 0; rt = t }
+
+let decode_return body =
+  match Codec.decode Rpc_msg.return_codec body with
+  | msg -> Some msg
+  | exception Codec.Decode_error _ -> None
+
+let call_troupe_gen ctx (troupe : Troupe.t) ~proc_no ?(multicast = false) args =
+  let t = ctx.rt in
+  let pair_no = Endpoint.next_call_no t.endpoint in
+  let call_seq = next_call_seq ctx in
+  let merged = Mailbox.create t.engine in
+  (* Members of a troupe may export the interface under different module
+     numbers; group members whose call messages are identical so each
+     group can share one (possibly multicast) transmission. *)
+  let groups = Hashtbl.create 4 in
+  List.iter
+    (fun (m : Addr.module_addr) ->
+      let existing = try Hashtbl.find groups m.Addr.module_no with Not_found -> [] in
+      Hashtbl.replace groups m.Addr.module_no (m :: existing))
+    troupe.Troupe.members;
+  Hashtbl.iter
+    (fun module_no members ->
+      let call =
+        { Rpc_msg.thread = ctx.thread;
+          seq = call_seq;
+          client_troupe = t.self_troupe;
+          server_troupe = troupe.Troupe.id;
+          module_no;
+          proc_no;
+          args }
+      in
+      let payload = Codec.encode Rpc_msg.call_codec call in
+      let dsts = List.map (fun (m : Addr.module_addr) -> m.Addr.process) members in
+      let replies = Endpoint.call_many t.endpoint ~dsts ~multicast ~call_no:pair_no payload in
+      ignore
+        (Host.spawn t.host ~label:"rpc.merge" (fun () ->
+             List.iter
+               (fun _ ->
+                 match Mailbox.recv replies with
+                 | Some { Endpoint.from; result } ->
+                   let member =
+                     List.find (fun (m : Addr.module_addr) -> Addr.equal m.Addr.process from) members
+                   in
+                   let message =
+                     match result with Ok body -> decode_return body | Error _ -> None
+                   in
+                   Mailbox.send merged { Collator.from = member; message }
+                 | None -> ())
+               members)))
+    groups;
+  let total = Troupe.size troupe in
+  let rec take k () =
+    if k = 0 then Seq.Nil
+    else
+      match Mailbox.recv merged with
+      | Some reply -> Seq.Cons (reply, take (k - 1))
+      | None -> Seq.Nil
+  in
+  (total, Seq.memoize (take total))
+
+let interpret troupe_id = function
+  | Rpc_msg.Ok_result body -> body
+  | Rpc_msg.App_error e -> raise (Remote_error e)
+  | Rpc_msg.Stale_troupe -> raise (Stale_binding troupe_id)
+  | Rpc_msg.No_such_module | Rpc_msg.No_such_procedure -> raise Bad_interface
+
+let call_troupe ctx troupe ~proc_no ?multicast ?(collator = Collator.unanimous) args =
+  let t = ctx.rt in
+  let total, replies = call_troupe_gen ctx troupe ~proc_no ?multicast args in
+  let msg = collator ~total replies in
+  ignore (Syscall.gettimeofday t.env ~meter:(meter t) t.host);
+  interpret troupe.Troupe.id msg
+
+let call_module ctx maddr ~proc_no args =
+  call_troupe ctx (Troupe.singleton maddr) ~proc_no args
+
+let call_troupe_watchdog ctx troupe ~proc_no ?multicast ~on_inconsistency args =
+  let t = ctx.rt in
+  let _total, replies = call_troupe_gen ctx troupe ~proc_no ?multicast args in
+  let first =
+    (* take the first message; crashed members yield none *)
+    let rec scan s =
+      match s () with
+      | Seq.Nil -> raise Collator.Troupe_failed
+      | Seq.Cons ({ Collator.message = Some msg; _ }, _) -> msg
+      | Seq.Cons ({ Collator.message = None; _ }, rest) -> scan rest
+    in
+    scan replies
+  in
+  (* The watchdog drains the remaining messages in the background and
+     checks that every available member agreed with the message the
+     main computation ran with (§4.3.4). *)
+  ignore
+    (Host.spawn t.host ~label:"rpc.watchdog" (fun () ->
+         let all = List.of_seq replies in
+         let disagrees =
+           List.exists
+             (fun (r : Collator.reply) ->
+               match r.Collator.message with Some msg -> msg <> first | None -> false)
+             all
+         in
+         if disagrees then on_inconsistency all));
+  ignore (Syscall.gettimeofday t.env ~meter:(meter t) t.host);
+  interpret troupe.Troupe.id first
+
+(* ------------------------------------------------------------------ *)
+
+let create env host ?port ?(config = default_config) ?meter ?pairmsg_config () =
+  let endpoint = Endpoint.create env host ?port ?config:pairmsg_config ?meter () in
+  let t =
+    { endpoint;
+      host;
+      env;
+      engine = Host.engine host;
+      config;
+      exports = Hashtbl.create 8;
+      state_providers = Hashtbl.create 4;
+      next_module = 0;
+      resolver = (fun _ -> None);
+      self_troupe = Ids.Troupe_id.none;
+      self_troupe_module = None;
+      thread_counter = 0;
+      m2o_table = Hashtbl.create 32 }
+  in
+  Endpoint.set_handler endpoint (fun ~src ~call_no body ->
+      match Codec.decode Rpc_msg.call_codec body with
+      | call -> handle_call t ~src ~pair_no:call_no call
+      | exception Codec.Decode_error _ ->
+        send_return t ~dst:src ~pair_no:call_no (Rpc_msg.App_error "malformed call message"));
+  t

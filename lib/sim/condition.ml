@@ -1,0 +1,50 @@
+type waiter = {
+  mutable active : bool;
+  wake : [ `Signalled | `Timeout ] Fiber.waker;
+  mutable timer : Engine.handle option;
+}
+type t = { mutable queue : waiter list (* reversed: newest first *) }
+
+let create () = { queue = [] }
+
+let rec pop_active t =
+  (* queue is newest-first; take from the end for FIFO order *)
+  match List.rev t.queue with
+  | [] -> None
+  | oldest :: rest ->
+    t.queue <- List.rev rest;
+    if oldest.active then Some oldest else pop_active t
+
+let wake_signalled w =
+  w.active <- false;
+  (match w.timer with Some h -> Engine.cancel h | None -> ());
+  w.wake (Ok `Signalled)
+
+let signal t = match pop_active t with None -> () | Some w -> wake_signalled w
+
+let broadcast t =
+  let all = List.rev t.queue in
+  t.queue <- [];
+  List.iter (fun w -> if w.active then wake_signalled w) all
+
+let await t =
+  let result =
+    Fiber.suspend (fun wake ->
+        let w = { active = true; wake; timer = None } in
+        t.queue <- w :: t.queue)
+  in
+  match result with `Signalled | `Timeout -> ()
+
+let await_timeout engine t duration =
+  Fiber.suspend (fun wake ->
+      let w = { active = true; wake; timer = None } in
+      t.queue <- w :: t.queue;
+      w.timer <-
+        Some
+          (Engine.schedule engine ~delay:duration (fun () ->
+               if w.active then begin
+                 w.active <- false;
+                 wake (Ok `Timeout)
+               end)))
+
+let waiters t = List.length (List.filter (fun w -> w.active) t.queue)

@@ -1,0 +1,78 @@
+type event = {
+  time : float;
+  seq : int;
+  run : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  queue : event Heap.t;
+  root_prng : Prng.t;
+}
+
+let compare_events a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 42) () =
+  { now = 0.0; seq = 0; queue = Heap.create ~cmp:compare_events; root_prng = Prng.create seed }
+
+let now t = t.now
+let prng t = t.root_prng
+
+let schedule_abs t ~at f =
+  let time = if at < t.now then t.now else at in
+  let ev = { time; seq = t.seq; run = f; cancelled = false } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_abs t ~at:(t.now +. delay) f
+
+let cancel ev = ev.cancelled <- true
+
+(* Cancelled events are dropped without advancing the clock. *)
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    if ev.cancelled then step t
+    else begin
+      t.now <- ev.time;
+      ev.run ();
+      true
+    end
+
+let rec drop_cancelled t =
+  match Heap.peek t.queue with
+  | Some ev when ev.cancelled ->
+    ignore (Heap.pop t.queue);
+    drop_cancelled t
+  | Some _ | None -> ()
+
+let run ?until ?(max_events = 50_000_000) t =
+  let executed = ref 0 in
+  let continue_run = ref true in
+  while !continue_run && !executed < max_events do
+    drop_cancelled t;
+    match Heap.peek t.queue with
+    | None -> continue_run := false
+    | Some ev -> (
+      match until with
+      | Some horizon when ev.time > horizon ->
+        t.now <- horizon;
+        continue_run := false
+      | _ ->
+        ignore (step t);
+        incr executed)
+  done;
+  if !executed >= max_events then
+    invalid_arg "Engine.run: max_events exceeded (runaway simulation?)"
+
+let pending t = Heap.length t.queue

@@ -1,0 +1,45 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the virtual clock and a pending-event queue.
+    Events scheduled for the same instant fire in scheduling order
+    (FIFO), which keeps simulations deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event; may be cancelled before it fires. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] is a fresh engine with clock at 0.  [seed]
+    (default 42) seeds the root {!Prng.t}. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val prng : t -> Prng.t
+(** The engine's root generator.  Components should [Prng.split] it
+    rather than share it. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  Negative
+    delays are clamped to 0. *)
+
+val schedule_abs : t -> at:float -> (unit -> unit) -> handle
+(** [schedule_abs t ~at f] runs [f] at absolute time [at] (clamped to
+    [now t]). *)
+
+val cancel : handle -> unit
+(** Prevent a pending event from firing; no-op if it already fired. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue.  Stops when the queue is empty, when the
+    next event lies beyond [until], or after [max_events] events
+    (default 50 million, a runaway guard).  The clock is left at the
+    time of the last event executed (or at [until] if given and
+    reached). *)
+
+val step : t -> bool
+(** Execute the single next event.  [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of events still queued. *)

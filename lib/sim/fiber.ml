@@ -1,0 +1,121 @@
+exception Cancelled
+
+type 'a waker = ('a, exn) result -> unit
+
+type state =
+  | Running
+  | Suspended of (exn -> unit)  (* schedules a discontinue of the stored continuation *)
+  | Terminated
+
+type t = {
+  id : int;
+  engine_ : Engine.t;
+  label_ : string;
+  mutable state : state;
+  mutable cancel_requested : bool;
+  mutable terminate_callbacks : (unit -> unit) list;
+}
+
+type _ Effect.t +=
+  | Suspend : ('a waker -> unit) -> 'a Effect.t
+  | Self : t Effect.t
+
+let next_id = ref 0
+
+let default_uncaught fiber e =
+  Printf.eprintf "fiber %d (%s): uncaught exception\n%!" fiber.id fiber.label_;
+  raise e
+
+let uncaught_handler = ref default_uncaught
+let set_uncaught_handler f = uncaught_handler := f
+
+let finish fiber =
+  fiber.state <- Terminated;
+  let callbacks = List.rev fiber.terminate_callbacks in
+  fiber.terminate_callbacks <- [];
+  List.iter (fun f -> f ()) callbacks
+
+let spawn engine ?(label = "fiber") f =
+  incr next_id;
+  let fiber =
+    { id = !next_id;
+      engine_ = engine;
+      label_ = label;
+      state = Running;
+      cancel_requested = false;
+      terminate_callbacks = [] }
+  in
+  let handler : (unit, unit) Effect.Deep.handler =
+    { retc = (fun () -> finish fiber);
+      exnc =
+        (fun e ->
+          finish fiber;
+          match e with Cancelled -> () | e -> !uncaught_handler fiber e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Self ->
+            Some (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k fiber)
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let fired = ref false in
+                let wake r =
+                  if not !fired then begin
+                    fired := true;
+                    ignore
+                      (Engine.schedule engine ~delay:0.0 (fun () ->
+                           fiber.state <- Running;
+                           match r with
+                           | Ok v -> Effect.Deep.continue k v
+                           | Error e -> Effect.Deep.discontinue k e))
+                  end
+                in
+                if fiber.cancel_requested then wake (Error Cancelled)
+                else begin
+                  fiber.state <- Suspended (fun e -> wake (Error e));
+                  register wake
+                end)
+          | _ -> None)
+    }
+  in
+  ignore
+    (Engine.schedule engine ~delay:0.0 (fun () ->
+         if fiber.cancel_requested then finish fiber
+         else Effect.Deep.match_with f () handler));
+  fiber
+
+let self () = Effect.perform Self
+let engine () = (self ()).engine_
+let label t = t.label_
+let id t = t.id
+let suspend register = Effect.perform (Suspend register)
+
+let sleep duration =
+  let eng = engine () in
+  let timer = ref None in
+  try suspend (fun wake -> timer := Some (Engine.schedule eng ~delay:duration (fun () -> wake (Ok ()))))
+  with e ->
+    (* Cancelled while asleep: remove the stale timer event. *)
+    (match !timer with Some h -> Engine.cancel h | None -> ());
+    raise e
+
+let yield () = sleep 0.0
+
+let cancel fiber =
+  match fiber.state with
+  | Terminated -> ()
+  | Running -> fiber.cancel_requested <- true
+  | Suspended discontinue ->
+    fiber.cancel_requested <- true;
+    discontinue Cancelled
+
+let is_terminated fiber = match fiber.state with Terminated -> true | Running | Suspended _ -> false
+
+let on_terminate fiber f =
+  if is_terminated fiber then f ()
+  else fiber.terminate_callbacks <- f :: fiber.terminate_callbacks
+
+let join fiber =
+  if not (is_terminated fiber) then
+    suspend (fun wake -> on_terminate fiber (fun () -> wake (Ok ())))

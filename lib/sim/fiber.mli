@@ -1,0 +1,67 @@
+(** Lightweight simulated processes (fibers) over {!Engine}.
+
+    A fiber is the simulation's analogue of the paper's thread of
+    control: a sequential computation that can block on virtual time
+    and on synchronization objects.  Fibers are implemented with OCaml
+    effect handlers, so protocol code is written in direct style.
+
+    All blocking operations ({!sleep}, {!suspend}, and everything in
+    {!Ivar}, {!Mailbox}, {!Condition}) must be called from inside a
+    fiber; calling them elsewhere raises [Effect.Unhandled]. *)
+
+type t
+(** A spawned fiber. *)
+
+type 'a waker = ('a, exn) result -> unit
+(** One-shot resumption function handed to {!suspend}.  Calling it a
+    second time is a no-op. *)
+
+exception Cancelled
+(** Raised inside a fiber that is cancelled (e.g. because its simulated
+    host crashed) at its current or next suspension point. *)
+
+val spawn : Engine.t -> ?label:string -> (unit -> unit) -> t
+(** [spawn engine f] creates a fiber that starts running [f] when the
+    engine next reaches the current instant.  Uncaught exceptions other
+    than {!Cancelled} are passed to the handler installed with
+    {!set_uncaught_handler} (default: re-raise, aborting the run). *)
+
+val self : unit -> t
+(** The currently executing fiber. *)
+
+val engine : unit -> Engine.t
+(** Engine of the current fiber. *)
+
+val label : t -> string
+val id : t -> int
+
+val sleep : float -> unit
+(** Block for a duration of virtual time. *)
+
+val yield : unit -> unit
+(** Reschedule at the current instant, letting other ready fibers
+    run. *)
+
+val suspend : ('a waker -> unit) -> 'a
+(** [suspend register] blocks the current fiber and calls [register]
+    with a waker.  The fiber resumes with [v] when the waker is called
+    with [Ok v], or raises [e] when called with [Error e].  This is the
+    primitive from which all synchronization objects are built. *)
+
+val cancel : t -> unit
+(** Request cancellation: a suspended fiber is woken with {!Cancelled};
+    a running one receives it at its next suspension point.  Cancelling
+    a terminated fiber is a no-op. *)
+
+val is_terminated : t -> bool
+
+val join : t -> unit
+(** Block until the given fiber terminates (normally, by exception, or
+    by cancellation). *)
+
+val on_terminate : t -> (unit -> unit) -> unit
+(** Register a callback run when the fiber terminates; runs immediately
+    if it already has. *)
+
+val set_uncaught_handler : (t -> exn -> unit) -> unit
+(** Install a global handler for exceptions escaping fiber bodies. *)

@@ -1,0 +1,31 @@
+(** Array-based binary min-heap.
+
+    Used by the simulation engine as its pending-event queue.  The
+    ordering is supplied at creation time; ties are broken by the
+    comparator itself, so callers that need FIFO behaviour among equal
+    keys must encode a sequence number in the element. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x]; amortized O(log n). *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element, or [None] if the
+    heap is empty. *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element without removing it. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in unspecified order. *)

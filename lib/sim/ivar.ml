@@ -1,0 +1,26 @@
+type 'a state = Empty of 'a Fiber.waker list | Full of 'a
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let try_fill t v =
+  match t.state with
+  | Full _ -> false
+  | Empty waiters ->
+    t.state <- Full v;
+    List.iter (fun wake -> wake (Ok v)) (List.rev waiters);
+    true
+
+let fill t v = if not (try_fill t v) then invalid_arg "Ivar.fill: already filled"
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty _ ->
+    Fiber.suspend (fun wake ->
+        match t.state with
+        | Full v -> wake (Ok v)
+        | Empty waiters -> t.state <- Empty (wake :: waiters))
+
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+let is_filled t = match t.state with Full _ -> true | Empty _ -> false

@@ -1,0 +1,21 @@
+(** Write-once synchronization variable.
+
+    The building block for call/return rendezvous: a caller blocks on
+    {!read} until some other fiber {!fill}s the variable. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Fill the variable and wake all readers.  Raises [Invalid_argument]
+    if already filled. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** Like {!fill} but returns [false] instead of raising. *)
+
+val read : 'a t -> 'a
+(** Block until filled, then return the value.  Must run in a fiber. *)
+
+val peek : 'a t -> 'a option
+val is_filled : 'a t -> bool

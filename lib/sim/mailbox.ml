@@ -1,0 +1,68 @@
+type 'a waiter = {
+  mutable active : bool;
+  wake : 'a option Fiber.waker;
+  mutable timer : Engine.handle option;
+}
+
+type watcher = { watcher_id : int; notify : unit -> unit }
+
+type 'a t = {
+  engine : Engine.t;
+  items : 'a Queue.t;
+  waiters : 'a waiter Queue.t;
+  mutable watchers : watcher list;
+  mutable next_watcher : int;
+}
+
+let create engine =
+  { engine;
+    items = Queue.create ();
+    waiters = Queue.create ();
+    watchers = [];
+    next_watcher = 0 }
+
+(* Pop waiters until one that has not timed out or been cancelled. *)
+let rec pop_active_waiter t =
+  match Queue.take_opt t.waiters with
+  | None -> None
+  | Some w -> if w.active then Some w else pop_active_waiter t
+
+let send t v =
+  (match pop_active_waiter t with
+  | Some w ->
+    w.active <- false;
+    (match w.timer with Some h -> Engine.cancel h | None -> ());
+    w.wake (Ok (Some v))
+  | None -> Queue.push v t.items);
+  List.iter (fun w -> w.notify ()) t.watchers
+
+let try_recv t = Queue.take_opt t.items
+
+let recv ?timeout t =
+  match Queue.take_opt t.items with
+  | Some v -> Some v
+  | None ->
+    Fiber.suspend (fun wake ->
+        let w = { active = true; wake; timer = None } in
+        Queue.push w t.waiters;
+        match timeout with
+        | None -> ()
+        | Some duration ->
+          w.timer <-
+            Some
+              (Engine.schedule t.engine ~delay:duration (fun () ->
+                   if w.active then begin
+                     w.active <- false;
+                     wake (Ok None)
+                   end)))
+
+let length t = Queue.length t.items
+let clear t = Queue.clear t.items
+
+let watch t notify =
+  let w = { watcher_id = t.next_watcher; notify } in
+  t.next_watcher <- t.next_watcher + 1;
+  t.watchers <- w :: t.watchers;
+  w
+
+let unwatch t w = t.watchers <- List.filter (fun w' -> w'.watcher_id <> w.watcher_id) t.watchers

@@ -1,0 +1,33 @@
+(** Unbounded FIFO message queue with blocking receive.
+
+    Models a socket receive buffer: senders never block; receivers
+    block until a message arrives or an optional timeout expires. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a message, waking one blocked receiver if any. *)
+
+val recv : ?timeout:float -> 'a t -> 'a option
+(** Dequeue the next message, blocking if the queue is empty.  Returns
+    [None] only if [timeout] (virtual seconds) expires first.  Must run
+    in a fiber. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking dequeue. *)
+
+val length : 'a t -> int
+(** Messages currently queued (excluding any being awaited). *)
+
+val clear : 'a t -> unit
+
+type watcher
+
+val watch : 'a t -> (unit -> unit) -> watcher
+(** [watch t f] calls [f] on every subsequent {!send}, whether or not
+    the message is consumed immediately by a blocked receiver.  Used to
+    build [select]-style readiness waiting across several mailboxes. *)
+
+val unwatch : 'a t -> watcher -> unit

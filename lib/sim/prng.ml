@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* Finalization mix from SplitMix64 (Steele, Lea & Flood 2014). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let int64 = next
+let split g = { state = next g }
+
+let float g =
+  (* 53 high bits as a mantissa in [0,1). *)
+  let bits = Int64.shift_right_logical (next g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int g bound =
+  assert (bound > 0);
+  (* Rejection sampling on the low bits to avoid modulo bias. *)
+  let rec loop () =
+    let r = Int64.to_int (Int64.shift_right_logical (next g) 1) in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then loop () else v
+  in
+  loop ()
+
+let bool g ~p = float g < p
+
+let exponential g ~mean =
+  let u = float g in
+  (* 1 - u is in (0,1], so log is finite. *)
+  -.mean *. log (1.0 -. u)
+
+let uniform g ~lo ~hi = lo +. ((hi -. lo) *. float g)
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

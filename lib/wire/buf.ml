@@ -1,0 +1,68 @@
+type writer = Buffer.t
+type reader = { data : bytes; stop : int; mutable pos : int }
+
+exception Underflow
+
+let writer () = Buffer.create 64
+let contents w = Buffer.to_bytes w
+let writer_length = Buffer.length
+
+let write_u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
+
+let write_u16 w v =
+  write_u8 w (v lsr 8);
+  write_u8 w v
+
+let write_u32 w v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 v;
+  Buffer.add_bytes w b
+
+let write_u64 w v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 v;
+  Buffer.add_bytes w b
+
+let write_bytes w b = Buffer.add_bytes w b
+let write_string w s = Buffer.add_string w s
+
+let reader data = { data; stop = Bytes.length data; pos = 0 }
+
+let reader_sub data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then raise Underflow;
+  { data; stop = pos + len; pos }
+
+let remaining r = r.stop - r.pos
+
+let need r n = if r.pos + n > r.stop then raise Underflow
+
+let read_u8 r =
+  need r 1;
+  let v = Char.code (Bytes.get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let read_u16 r =
+  let hi = read_u8 r in
+  let lo = read_u8 r in
+  (hi lsl 8) lor lo
+
+let read_u32 r =
+  need r 4;
+  let v = Bytes.get_int32_be r.data r.pos in
+  r.pos <- r.pos + 4;
+  v
+
+let read_u64 r =
+  need r 8;
+  let v = Bytes.get_int64_be r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let read_bytes r n =
+  need r n;
+  let b = Bytes.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  b
+
+let read_string r n = Bytes.to_string (read_bytes r n)

@@ -1,0 +1,32 @@
+(** Byte-oriented writers and readers for the external representation.
+
+    All multi-byte integers are big-endian ("most significant byte
+    first", §4.2.1), matching the Courier protocol's network order. *)
+
+type writer
+type reader
+
+exception Underflow
+(** Raised by read operations past the end of the buffer. *)
+
+val writer : unit -> writer
+val contents : writer -> bytes
+val writer_length : writer -> int
+
+val write_u8 : writer -> int -> unit
+val write_u16 : writer -> int -> unit
+val write_u32 : writer -> int32 -> unit
+val write_u64 : writer -> int64 -> unit
+val write_bytes : writer -> bytes -> unit
+val write_string : writer -> string -> unit
+
+val reader : bytes -> reader
+val reader_sub : bytes -> pos:int -> len:int -> reader
+val remaining : reader -> int
+
+val read_u8 : reader -> int
+val read_u16 : reader -> int
+val read_u32 : reader -> int32
+val read_u64 : reader -> int64
+val read_bytes : reader -> int -> bytes
+val read_string : reader -> int -> string

@@ -1,0 +1,110 @@
+(* Tests for the probabilistic models: harmonic numbers and Theorem 4.3,
+   Eq. 5.1 deadlock probability, and the Eq. 6.1/6.2 birth-death
+   availability model, each validated against Monte Carlo. *)
+
+open Circus_sim
+open Circus_analysis
+
+let near ?(eps = 1e-9) = Alcotest.(check (float eps))
+
+let test_harmonic () =
+  near "H_1" 1.0 (Analysis.harmonic 1);
+  near "H_2" 1.5 (Analysis.harmonic 2);
+  near "H_4" (25.0 /. 12.0) (Analysis.harmonic 4);
+  Alcotest.(check bool) "H_n ~ ln n + gamma" true
+    (abs_float (Analysis.harmonic 10_000 -. (log 10_000.0 +. 0.5772156649)) < 1e-4)
+
+let test_max_exponential_matches_theorem () =
+  let prng = Prng.create 42 in
+  List.iter
+    (fun n ->
+      let expected = Analysis.expected_max_exponential ~n ~mean:2.0 in
+      let measured = Analysis.monte_carlo_max_exponential prng ~n ~mean:2.0 ~trials:20_000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: %.3f vs %.3f" n expected measured)
+        true
+        (abs_float (measured -. expected) /. expected < 0.05))
+    [ 1; 2; 5; 10 ]
+
+let test_deadlock_formula_values () =
+  (* Eq. 5.1 edge cases. *)
+  near "k=1 never deadlocks" 0.0 (Analysis.deadlock_probability ~members:5 ~conflicts:1);
+  near "n=1 never deadlocks" 0.0 (Analysis.deadlock_probability ~members:1 ~conflicts:5);
+  near "n=2,k=2" 0.5 (Analysis.deadlock_probability ~members:2 ~conflicts:2);
+  near ~eps:1e-6 "n=3,k=2" 0.75 (Analysis.deadlock_probability ~members:3 ~conflicts:2);
+  near ~eps:1e-6 "n=2,k=3" (1.0 -. (1.0 /. 6.0)) (Analysis.deadlock_probability ~members:2 ~conflicts:3)
+
+let test_deadlock_monte_carlo () =
+  let prng = Prng.create 7 in
+  List.iter
+    (fun (members, conflicts) ->
+      let formula = Analysis.deadlock_probability ~members ~conflicts in
+      let measured = Analysis.monte_carlo_deadlock prng ~members ~conflicts ~trials:20_000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d k=%d: %.4f vs %.4f" members conflicts formula measured)
+        true
+        (abs_float (measured -. formula) < 0.02))
+    [ (2, 2); (3, 2); (2, 3); (3, 3); (5, 2) ]
+
+let test_availability_examples_from_paper () =
+  (* §6.4.2: 3 members, 99.9% availability => replacement time at most
+     1/9 of the lifetime; with 5 members, 1/3 of the lifetime. *)
+  let lifetime = 3600.0 in
+  let r3 = Analysis.required_repair_time ~n:3 ~availability:0.999 ~lifetime in
+  Alcotest.(check bool)
+    (Printf.sprintf "3 members: %.1f s ~ lifetime/9" r3)
+    true
+    (abs_float (r3 -. (lifetime /. 9.0)) < 1.0);
+  let r5 = Analysis.required_repair_time ~n:5 ~availability:0.999 ~lifetime in
+  Alcotest.(check bool)
+    (Printf.sprintf "5 members: %.1f s ~ lifetime/3 (20 min)" r5)
+    true
+    (abs_float (r5 -. 1200.0) < 15.0)
+
+let test_availability_formula_roundtrip () =
+  (* Eq. 6.2 inverts Eq. 6.1. *)
+  let lifetime = 100.0 in
+  List.iter
+    (fun (n, target) ->
+      let repair = Analysis.required_repair_time ~n ~availability:target ~lifetime in
+      let back =
+        Analysis.availability ~n ~failure_rate:(1.0 /. lifetime) ~repair_rate:(1.0 /. repair)
+      in
+      near ~eps:1e-9 (Printf.sprintf "n=%d" n) target back)
+    [ (1, 0.9); (2, 0.99); (3, 0.999); (5, 0.99999) ]
+
+let test_state_probabilities_sum_to_one () =
+  let n = 6 in
+  let total = ref 0.0 in
+  for k = 0 to n do
+    total := !total +. Analysis.state_probability ~n ~k ~failure_rate:0.3 ~repair_rate:1.7
+  done;
+  near ~eps:1e-9 "sums to 1" 1.0 !total
+
+let test_simulated_availability_matches_formula () =
+  let prng = Prng.create 11 in
+  List.iter
+    (fun (n, failure_rate, repair_rate) ->
+      let formula = Analysis.availability ~n ~failure_rate ~repair_rate in
+      let measured =
+        Analysis.simulate_availability prng ~n ~failure_rate ~repair_rate ~horizon:200_000.0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: %.5f vs %.5f" n formula measured)
+        true
+        (abs_float (measured -. formula) < 0.01))
+    [ (1, 0.1, 0.5); (2, 0.1, 0.3); (3, 0.2, 0.4) ]
+
+let () =
+  Alcotest.run "circus_analysis"
+    [ ( "theorem-4.3",
+        [ Alcotest.test_case "harmonic" `Quick test_harmonic;
+          Alcotest.test_case "max exponential" `Quick test_max_exponential_matches_theorem ] );
+      ( "eq-5.1",
+        [ Alcotest.test_case "formula values" `Quick test_deadlock_formula_values;
+          Alcotest.test_case "monte carlo" `Quick test_deadlock_monte_carlo ] );
+      ( "eq-6.1-6.2",
+        [ Alcotest.test_case "paper examples" `Quick test_availability_examples_from_paper;
+          Alcotest.test_case "roundtrip" `Quick test_availability_formula_roundtrip;
+          Alcotest.test_case "state distribution" `Quick test_state_probabilities_sum_to_one;
+          Alcotest.test_case "simulation vs formula" `Quick test_simulated_availability_matches_formula ] ) ]

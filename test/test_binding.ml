@@ -1,0 +1,231 @@
+(* Tests for the Ringmaster binding agent, client caches and rebinding,
+   the janitor, and troupe-member recruitment with state transfer. *)
+
+open Circus_sim
+open Circus_net
+open Circus_rpc
+open Circus_binding
+module Codec = Circus_wire.Codec
+
+let bytes_of = Bytes.of_string
+let string_of = Bytes.to_string
+
+type world = {
+  engine : Engine.t;
+  net : Net.t;
+  env : Syscall.env;
+  ringmaster : Troupe.t;
+}
+
+(* A world with [n] Ringmaster members on dedicated hosts. *)
+let make_world ?(ringmasters = 2) ?seed () =
+  let engine = Engine.create ?seed () in
+  let net = Net.create engine () in
+  let env = Syscall.make net () in
+  let hosts =
+    List.init ringmasters (fun i -> Net.add_host net ~name:(Printf.sprintf "rm%d" i) ())
+  in
+  List.iter (fun h -> ignore (Ringmaster.start_member env h)) hosts;
+  let ringmaster = Ringmaster.bootstrap_troupe ~hosts:(List.map Host.id hosts) in
+  { engine; net; env; ringmaster }
+
+(* A counter service member: proc 0 increments and returns the value,
+   proc 1 reads it.  State is exposed for get_state transfer. *)
+let counter_member w ?(initial = 0) name_unused =
+  ignore name_unused;
+  let host = Net.add_host w.net () in
+  let rt = Runtime.create w.env host ~port:50 () in
+  let client = Client.create rt ~ringmaster:w.ringmaster in
+  let counter = ref initial in
+  let module_no =
+    Runtime.export rt (fun _ctx ~proc_no body ->
+        ignore body;
+        match proc_no with
+        | 0 ->
+          incr counter;
+          bytes_of (string_of_int !counter)
+        | 1 -> bytes_of (string_of_int !counter)
+        | _ -> raise Runtime.Bad_interface)
+  in
+  Runtime.set_state_provider rt ~module_no (fun () -> bytes_of (string_of_int !counter));
+  let load state = counter := int_of_string (string_of state) in
+  (host, rt, client, module_no, counter, load)
+
+let run w = Engine.run w.engine
+
+let spawn_client w f =
+  let host = Net.add_host w.net () in
+  let rt = Runtime.create w.env host () in
+  let client = Client.create rt ~ringmaster:w.ringmaster in
+  ignore (Runtime.spawn_thread rt (fun ctx -> f client ctx))
+
+let test_register_and_import () =
+  let w = make_world () in
+  let _, _, member_client, module_no, _, _ = counter_member w "counter" in
+  let imported = ref None in
+  (* The member exports itself by name... *)
+  ignore
+    (Runtime.spawn_thread (Client.runtime member_client) (fun ctx ->
+         let troupe =
+           Client.export_service member_client ctx ~name:"counter" ~module_no
+         in
+         Alcotest.(check int) "one member" 1 (Troupe.size troupe)));
+  (* ...and a client imports and calls it. *)
+  spawn_client w (fun client ctx ->
+      Fiber.sleep 1.0;
+      let answer = Client.call client ctx ~service:"counter" ~proc_no:0 Bytes.empty in
+      imported := Some (string_of answer));
+  run w;
+  Alcotest.(check (option string)) "called through binding" (Some "1") !imported
+
+let test_unknown_service () =
+  let w = make_world () in
+  let result = ref None in
+  spawn_client w (fun client ctx ->
+      match Client.import client ctx "nonexistent" with
+      | _ -> result := Some "found"
+      | exception Client.Unknown_service name -> result := Some ("unknown:" ^ name));
+  run w;
+  Alcotest.(check (option string)) "unknown" (Some "unknown:nonexistent") !result
+
+let test_add_member_changes_id_and_stale_cache_masked () =
+  let w = make_world () in
+  let _, _, c1, m1, _, _ = counter_member w "svc" in
+  let _, _, c2, m2, _, load2 = counter_member w "svc" in
+  let observed = ref [] in
+  (* First member registers at t=0. *)
+  ignore
+    (Runtime.spawn_thread (Client.runtime c1) (fun ctx ->
+         ignore (Client.export_service c1 ctx ~name:"svc" ~module_no:m1)));
+  (* A client imports (and caches) the one-member binding, calls, then
+     calls again after the membership changed underneath it. *)
+  spawn_client w (fun client ctx ->
+      Fiber.sleep 1.0;
+      let t1 = Client.import client ctx "svc" in
+      observed := Printf.sprintf "size1=%d" (Troupe.size t1) :: !observed;
+      ignore (Client.call client ctx ~service:"svc" ~proc_no:0 Bytes.empty);
+      (* Wait for the second member to join (it does so at t=5). *)
+      Fiber.sleep 10.0;
+      (* The cached binding is now stale (T ⊃ C): the call must be
+         transparently rebound and still succeed. *)
+      let answer = Client.call client ctx ~service:"svc" ~proc_no:0 Bytes.empty in
+      observed := ("answer=" ^ string_of answer) :: !observed;
+      let t2 = Client.import client ctx "svc" in
+      observed := Printf.sprintf "size2=%d" (Troupe.size t2) :: !observed;
+      observed := Printf.sprintf "id_changed=%b" (t2.Troupe.id <> t1.Troupe.id) :: !observed);
+  (* Second member joins at t=5, with state transfer. *)
+  ignore
+    (Host.spawn (Runtime.host (Client.runtime c2)) (fun () ->
+         Fiber.sleep 5.0;
+         let ctx = Runtime.detached_ctx (Client.runtime c2) in
+         ignore (Recruit.join c2 ctx ~name:"svc" ~module_no:m2 ~load:load2)));
+  run w;
+  let got = List.rev !observed in
+  Alcotest.(check (list string))
+    "stale cache masked, id changed"
+    [ "size1=1"; "answer=2"; "size2=2"; "id_changed=true" ]
+    got
+
+let test_recruit_state_transfer () =
+  let w = make_world () in
+  let _, _, c1, m1, counter1, _ = counter_member w "kv" in
+  let _, _, c2, _, counter2, load2 = counter_member w "kv" in
+  counter1 := 41;
+  ignore
+    (Runtime.spawn_thread (Client.runtime c1) (fun ctx ->
+         ignore (Client.export_service c1 ctx ~name:"kv" ~module_no:m1)));
+  let c2rt = Client.runtime c2 in
+  ignore
+    (Host.spawn (Runtime.host c2rt) (fun () ->
+         Fiber.sleep 2.0;
+         let ctx = Runtime.detached_ctx c2rt in
+         let m2 =
+           (* re-declare export on c2's runtime: module 0 already made in
+              counter_member *)
+           0
+         in
+         ignore (Recruit.join c2 ctx ~name:"kv" ~module_no:m2 ~load:load2)));
+  run w;
+  Alcotest.(check int) "state transferred" 41 !counter2
+
+let test_janitor_removes_crashed_member () =
+  let w = make_world () in
+  let h1, _, c1, m1, _, _ = counter_member w "gc" in
+  let _, _, c2, m2, _, _ = counter_member w "gc" in
+  ignore
+    (Runtime.spawn_thread (Client.runtime c1) (fun ctx ->
+         ignore (Client.export_service c1 ctx ~name:"gc" ~module_no:m1)));
+  ignore
+    (Host.spawn (Runtime.host (Client.runtime c2)) (fun () ->
+         Fiber.sleep 1.0;
+         let ctx = Runtime.detached_ctx (Client.runtime c2) in
+         ignore (Recruit.join c2 ctx ~name:"gc" ~module_no:m2 ~load:(fun _ -> ()))));
+  (* Crash member 1 at t=10; run a janitor from a separate host. *)
+  ignore (Engine.schedule w.engine ~delay:10.0 (fun () -> Host.crash h1));
+  let sizes = ref [] in
+  spawn_client w (fun client ctx ->
+      ignore (Janitor.spawn client ~period:5.0 ());
+      Fiber.sleep 30.0;
+      let troupe = Client.rebind client ctx "gc" in
+      sizes := Troupe.size troupe :: !sizes);
+  Engine.run ~until:60.0 w.engine;
+  Alcotest.(check (list int)) "one member left" [ 1 ] !sizes
+
+let test_resolver_through_ringmaster () =
+  (* A replicated client troupe registered at the Ringmaster; the
+     server resolves the client troupe id remotely (§4.3.2). *)
+  let w = make_world () in
+  let executed = ref 0 in
+  (* Server. *)
+  let server_host = Net.add_host w.net ~name:"server" () in
+  let server_rt = Runtime.create w.env server_host ~port:50 () in
+  let _server_client = Client.create server_rt ~ringmaster:w.ringmaster in
+  let server_mod =
+    Runtime.export server_rt (fun _ctx ~proc_no:_ body ->
+        incr executed;
+        body)
+  in
+  let server_troupe = Troupe.singleton (Runtime.module_addr server_rt server_mod) in
+  (* Two client members registered as a troupe by a third party. *)
+  let client_rts =
+    List.init 2 (fun i ->
+        let h = Net.add_host w.net ~name:(Printf.sprintf "cm%d" i) () in
+        let rt = Runtime.create w.env h ~port:60 () in
+        ignore (Client.create rt ~ringmaster:w.ringmaster);
+        rt)
+  in
+  let members =
+    List.map (fun rt -> Addr.module_addr (Runtime.addr rt) 0) client_rts
+  in
+  let registered_id = ref Ids.Troupe_id.none in
+  spawn_client w (fun client ctx ->
+      let id =
+        Client.register client ctx ~name:"client-troupe"
+          (Troupe.make ~id:Ids.Troupe_id.none ~members)
+      in
+      registered_id := id;
+      List.iter (fun rt -> Runtime.set_self_troupe rt id) client_rts);
+  ignore
+    (Engine.schedule w.engine ~delay:2.0 (fun () ->
+         let thread = { Ids.Thread_id.origin = 12345; pid = 9 } in
+         List.iter
+           (fun rt ->
+             ignore
+               (Runtime.spawn_thread_as rt ~thread (fun ctx ->
+                    ignore (Runtime.call_troupe ctx server_troupe ~proc_no:0 (bytes_of "x")))))
+           client_rts));
+  run w;
+  Alcotest.(check bool) "registered" true (not (Ids.Troupe_id.equal !registered_id Ids.Troupe_id.none));
+  Alcotest.(check int) "executed once for the pair" 1 !executed
+
+let () =
+  Alcotest.run "circus_binding"
+    [ ( "ringmaster",
+        [ Alcotest.test_case "register and import" `Quick test_register_and_import;
+          Alcotest.test_case "unknown service" `Quick test_unknown_service;
+          Alcotest.test_case "resolver via ringmaster" `Quick test_resolver_through_ringmaster ] );
+      ( "reconfiguration",
+        [ Alcotest.test_case "add member + stale cache" `Quick
+            test_add_member_changes_id_and_stale_cache_masked;
+          Alcotest.test_case "state transfer" `Quick test_recruit_state_transfer;
+          Alcotest.test_case "janitor" `Quick test_janitor_removes_crashed_member ] ) ]

@@ -1,0 +1,135 @@
+(* Tests for the troupe configuration language and the troupe extension
+   solver (§7.5). *)
+
+open Circus_net
+open Circus_config
+
+let machine id attrs = { Solver.machine_id = id; attrs }
+
+(* A little machine room modelled on §7.5.2's example. *)
+let universe =
+  [ machine 0
+      [ ("name", Host.Str "UCB-Monet"); ("memory", Host.Num 10.0);
+        ("has-floating-point", Host.Flag true) ];
+    machine 1
+      [ ("name", Host.Str "UCB-Degas"); ("memory", Host.Num 4.0);
+        ("has-floating-point", Host.Flag false) ];
+    machine 2
+      [ ("name", Host.Str "UCB-Renoir"); ("memory", Host.Num 8.0);
+        ("has-floating-point", Host.Flag true) ];
+    machine 3 [ ("name", Host.Str "UCB-Matisse"); ("memory", Host.Num 16.0) ] ]
+
+let ids machines = List.map (fun m -> m.Solver.machine_id) machines
+
+let test_parse_example () =
+  let spec =
+    Parser.parse
+      {|troupe (x) where x.name = "UCB-Monet" and x.memory = 10 and x.has-floating-point|}
+  in
+  Alcotest.(check (list string)) "vars" [ "x" ] spec.Ast.vars;
+  Alcotest.(check bool) "machine 0 satisfies" true
+    (Solver.satisfies spec [ List.nth universe 0 ]);
+  Alcotest.(check bool) "machine 2 does not" false
+    (Solver.satisfies spec [ List.nth universe 2 ])
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("rejects " ^ src) true
+        (try ignore (Parser.parse src); false with Parser.Parse_error _ -> true))
+    [ "troupe () where x.a"; "troupe (x) x.a"; "troupe (x) where y.a"; "troupe (x) where x.a ="; "" ]
+
+let test_precedence_and_not () =
+  (* "not" binds tightest, then "and", then "or". *)
+  let spec = Parser.parse {|troupe (x) where not x.has-floating-point and x.memory > 3 or x.memory > 15|} in
+  (* Parsed as ((not p) and m>3) or (m>15). *)
+  Alcotest.(check bool) "degas (no fp, 4G)" true (Solver.satisfies spec [ List.nth universe 1 ]);
+  Alcotest.(check bool) "matisse (16G)" true (Solver.satisfies spec [ List.nth universe 3 ]);
+  Alcotest.(check bool) "monet (fp, 10G)" false (Solver.satisfies spec [ List.nth universe 0 ])
+
+let test_missing_attribute_is_false () =
+  let spec = Parser.parse {|troupe (x) where x.has-floating-point|} in
+  Alcotest.(check bool) "matisse lacks the property" false
+    (Solver.satisfies spec [ List.nth universe 3 ])
+
+let test_instantiate_distinct () =
+  let spec = Parser.parse {|troupe (x, y) where x.memory >= 8 and y.memory >= 8|} in
+  match Solver.instantiate spec ~universe with
+  | Some machines ->
+    let chosen = ids machines in
+    Alcotest.(check int) "two machines" 2 (List.length chosen);
+    Alcotest.(check bool) "distinct" true (List.nth chosen 0 <> List.nth chosen 1);
+    List.iter
+      (fun m ->
+        match List.assoc_opt "memory" m.Solver.attrs with
+        | Some (Host.Num mem) -> Alcotest.(check bool) "memory ok" true (mem >= 8.0)
+        | _ -> Alcotest.fail "missing memory")
+      machines
+  | None -> Alcotest.fail "no solution found"
+
+let test_instantiate_unsatisfiable () =
+  let spec = Parser.parse {|troupe (x, y, z) where x.memory > 9 and y.memory > 9 and z.memory > 9|} in
+  Alcotest.(check bool) "only two machines have >9G" true
+    (Solver.instantiate spec ~universe = None)
+
+let test_extend_prefers_current_members () =
+  let spec = Parser.parse {|troupe (x, y) where x.memory >= 8 and y.memory >= 8|} in
+  (* Three machines qualify: 0 (10G), 2 (8G), 3 (16G).  The current
+     troupe is {2, 3}; the solver must keep both rather than swap in
+     machine 0. *)
+  match Solver.extend spec ~universe ~current:[ 2; 3 ] with
+  | Some machines ->
+    Alcotest.(check (list int)) "kept current" [ 2; 3 ] (List.sort Int.compare (ids machines))
+  | None -> Alcotest.fail "no solution"
+
+let test_extend_replaces_failed_member () =
+  let spec = Parser.parse {|troupe (x, y) where x.memory >= 8 and y.memory >= 8|} in
+  (* Machine 9 is gone from the universe (crashed); the solver keeps 0
+     and replaces 9 with one of the other qualifying machines. *)
+  match Solver.extend spec ~universe ~current:[ 0; 9 ] with
+  | Some machines ->
+    let chosen = List.sort Int.compare (ids machines) in
+    Alcotest.(check bool) "kept machine 0" true (List.mem 0 chosen);
+    Alcotest.(check bool) "replacement qualifies" true
+      (List.for_all (fun id -> List.mem id [ 0; 2; 3 ]) chosen)
+  | None -> Alcotest.fail "no solution"
+
+let test_extend_minimal_change () =
+  let spec = Parser.parse {|troupe (x) where x.memory >= 4|} in
+  match Solver.extend spec ~universe ~current:[ 1 ] with
+  | Some [ m ] -> Alcotest.(check int) "kept member 1" 1 m.Solver.machine_id
+  | Some _ | None -> Alcotest.fail "expected a single machine"
+
+let prop_solver_solutions_satisfy =
+  QCheck.Test.make ~name:"solutions satisfy spec and are distinct" ~count:100
+    QCheck.(pair (int_range 1 3) (int_range 0 20))
+    (fun (arity, threshold) ->
+      let vars = List.init arity (Printf.sprintf "v%d") in
+      let formula =
+        List.init arity (fun i -> Ast.Compare (i, "memory", Ast.Ge, Ast.Num (float_of_int threshold)))
+        |> function
+        | [] -> assert false
+        | f :: rest -> List.fold_left (fun acc g -> Ast.And (acc, g)) f rest
+      in
+      let spec = { Ast.vars; formula } in
+      match Solver.instantiate spec ~universe with
+      | None -> true
+      | Some machines ->
+        Solver.satisfies spec machines
+        && List.length (List.sort_uniq Int.compare (ids machines)) = arity)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "circus_config"
+    [ ( "language",
+        [ Alcotest.test_case "example" `Quick test_parse_example;
+          Alcotest.test_case "garbage" `Quick test_parse_rejects_garbage;
+          Alcotest.test_case "precedence" `Quick test_precedence_and_not;
+          Alcotest.test_case "missing attribute" `Quick test_missing_attribute_is_false ] );
+      ( "solver",
+        [ Alcotest.test_case "instantiate" `Quick test_instantiate_distinct;
+          Alcotest.test_case "unsatisfiable" `Quick test_instantiate_unsatisfiable;
+          Alcotest.test_case "extend keeps members" `Quick test_extend_prefers_current_members;
+          Alcotest.test_case "extend replaces failed" `Quick test_extend_replaces_failed_member;
+          Alcotest.test_case "extend minimal change" `Quick test_extend_minimal_change ]
+        @ qcheck [ prop_solver_solutions_satisfy ] ) ]

@@ -1,0 +1,176 @@
+(* End-to-end tests of the public facade: typed interfaces, named
+   services with state transfer, reconfiguration, and collated
+   (explicit-replication) handlers. *)
+
+open Circus_sim
+open Circus_net
+open Circus_rpc
+open Circus
+module Codec = Circus_wire.Codec
+
+(* A tiny replicated key-value interface. *)
+let put_proc = Interface.proc ~proc_no:0 ~name:"put" (Codec.pair Codec.string Codec.string) Codec.unit
+let get_proc = Interface.proc ~proc_no:1 ~name:"get" Codec.string (Codec.option Codec.string)
+let size_proc = Interface.proc ~proc_no:2 ~name:"size" Codec.unit Codec.int
+
+let kv_state_codec = Codec.list (Codec.pair Codec.string Codec.string)
+
+let kv_member sys ?host () =
+  let process = System.process sys ?host () in
+  let table : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let handlers =
+    [ Interface.handle put_proc (fun _ctx (k, v) -> Hashtbl.replace table k v);
+      Interface.handle get_proc (fun _ctx k -> Hashtbl.find_opt table k);
+      Interface.handle size_proc (fun _ctx () -> Hashtbl.length table) ]
+  in
+  let get_state () =
+    Codec.encode kv_state_codec
+      (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []))
+  in
+  let load_state bytes =
+    Hashtbl.reset table;
+    List.iter (fun (k, v) -> Hashtbl.replace table k v) (Codec.decode kv_state_codec bytes)
+  in
+  (process, handlers, (get_state, load_state), table)
+
+let test_typed_service_end_to_end () =
+  let sys = System.create () in
+  (* Two members serve "kv" from the start. *)
+  List.iter
+    (fun () ->
+      let process, handlers, state, _ = kv_member sys () in
+      ignore
+        (System.spawn process (fun ctx ->
+             ignore (Service.serve process ctx ~name:"kv" ~state handlers))))
+    [ (); () ];
+  let got = ref None in
+  let client = System.process sys ~name:"client" () in
+  ignore
+    (System.spawn client (fun ctx ->
+         Fiber.sleep 1.0;
+         Service.call client ctx ~service:"kv" put_proc ("color", "blue");
+         got := Service.call client ctx ~service:"kv" get_proc "color"));
+  System.run sys;
+  Alcotest.(check (option string)) "replicated put/get" (Some "blue") !got
+
+let test_state_transfer_and_crash_failover () =
+  let sys = System.create () in
+  let p1, handlers1, state1, table1 = kv_member sys () in
+  ignore
+    (System.spawn p1 (fun ctx -> ignore (Service.serve p1 ctx ~name:"kv" ~state:state1 handlers1)));
+  (* Client writes 5 keys, then a second member joins, then the first
+     member crashes; reads must survive with the transferred state. *)
+  let survived = ref None in
+  let client = System.process sys ~name:"client" () in
+  ignore
+    (System.spawn client (fun ctx ->
+         Fiber.sleep 1.0;
+         for i = 1 to 5 do
+           Service.call client ctx ~service:"kv" put_proc
+             (Printf.sprintf "k%d" i, Printf.sprintf "v%d" i)
+         done));
+  let p2, handlers2, state2, table2 = kv_member sys () in
+  ignore
+    (Host.spawn p2.System.host (fun () ->
+         Fiber.sleep 5.0;
+         let ctx = Runtime.detached_ctx p2.System.runtime in
+         ignore (Service.serve p2 ctx ~name:"kv" ~state:state2 handlers2)));
+  ignore (Engine.schedule (System.engine sys) ~delay:10.0 (fun () -> Host.crash p1.System.host));
+  ignore
+    (System.spawn client (fun ctx ->
+         Fiber.sleep 15.0;
+         survived := Service.call client ctx ~service:"kv" get_proc "k3"));
+  System.run sys;
+  Alcotest.(check int) "state transferred" (Hashtbl.length table1) (Hashtbl.length table2);
+  Alcotest.(check (option string)) "read after crash" (Some "v3") !survived
+
+let test_collated_averaging_controller () =
+  (* Figure 7.7: the temperature controller averages the arguments of
+     all client troupe members. *)
+  let sys = System.create () in
+  let set_temp =
+    Interface.proc ~proc_no:0 ~name:"set_temperature" Codec.float64 Codec.float64
+  in
+  let server = System.process sys ~name:"controller" () in
+  let applied = ref nan in
+  let handlers =
+    [ Interface.handle_collated set_temp (fun _ctx ~expected:_ temps ->
+          let average = List.fold_left ( +. ) 0.0 temps /. float_of_int (List.length temps) in
+          applied := average;
+          average) ]
+  in
+  let module_no = Interface.export server.System.runtime handlers in
+  let troupe = Troupe.singleton (Runtime.module_addr server.System.runtime module_no) in
+  (* Three replicated client members with diverging sensor readings. *)
+  let client_troupe_id = 900L in
+  let members =
+    List.init 3 (fun i ->
+        let p = System.process sys ~name:(Printf.sprintf "sensor%d" i) () in
+        Runtime.set_self_troupe p.System.runtime client_troupe_id;
+        p)
+  in
+  let addrs = List.map (fun p -> Runtime.addr p.System.runtime) members in
+  Runtime.set_resolver server.System.runtime (fun id ->
+      if Ids.Troupe_id.equal id client_troupe_id then Some addrs else None);
+  let thread = { Ids.Thread_id.origin = 5555; pid = 1 } in
+  let answers = ref [] in
+  List.iteri
+    (fun i p ->
+      ignore
+        (Runtime.spawn_thread_as p.System.runtime ~thread (fun ctx ->
+             let reading = 20.0 +. float_of_int i in
+             let avg = Interface.call ctx troupe set_temp reading in
+             answers := avg :: !answers)))
+    members;
+  System.run sys;
+  Alcotest.(check (float 1e-9)) "average applied" 21.0 !applied;
+  Alcotest.(check (list (float 1e-9))) "all got the average" [ 21.0; 21.0; 21.0 ] !answers
+
+let test_call_gen_short_circuit () =
+  let sys = System.create () in
+  let echo = Interface.proc ~proc_no:0 ~name:"echo" Codec.string Codec.string in
+  let members =
+    List.init 3 (fun _ ->
+        let p = System.process sys () in
+        let module_no =
+          Interface.export p.System.runtime
+            [ Interface.handle echo (fun _ctx s -> s) ]
+        in
+        Runtime.module_addr p.System.runtime module_no)
+  in
+  let troupe = Troupe.make ~id:77L ~members in
+  let client = System.process sys () in
+  let first = ref None in
+  ignore
+    (System.spawn client (fun ctx ->
+         let total, results = Interface.call_gen ctx troupe echo "hi" in
+         Alcotest.(check int) "size" 3 total;
+         match results () with
+         | Seq.Cons (r, _) -> first := r
+         | Seq.Nil -> ()));
+  System.run sys;
+  Alcotest.(check (option string)) "first response" (Some "hi") !first
+
+let test_duplicate_proc_numbers_rejected () =
+  let sys = System.create () in
+  let p = System.process sys () in
+  let a = Interface.proc ~proc_no:0 ~name:"a" Codec.unit Codec.unit in
+  let b = Interface.proc ~proc_no:0 ~name:"b" Codec.unit Codec.unit in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore
+         (Interface.export p.System.runtime
+            [ Interface.handle a (fun _ () -> ()); Interface.handle b (fun _ () -> ()) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "circus_core"
+    [ ( "service",
+        [ Alcotest.test_case "typed end-to-end" `Quick test_typed_service_end_to_end;
+          Alcotest.test_case "state transfer + failover" `Quick
+            test_state_transfer_and_crash_failover ] );
+      ( "interface",
+        [ Alcotest.test_case "collated averaging" `Quick test_collated_averaging_controller;
+          Alcotest.test_case "generator short-circuit" `Quick test_call_gen_short_circuit;
+          Alcotest.test_case "duplicate procs" `Quick test_duplicate_proc_numbers_rejected ] ) ]

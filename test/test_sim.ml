@@ -1,0 +1,339 @@
+(* Tests for the discrete-event engine and fiber layer. *)
+
+open Circus_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.sort Int.compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_prng_split_independent () =
+  let root = Prng.create 1 in
+  let a = Prng.split root in
+  let first_of_b_before = Prng.create 1 in
+  ignore (Prng.split first_of_b_before);
+  let b = Prng.split first_of_b_before in
+  ignore a;
+  ignore b;
+  (* Splitting must advance the parent: two successive splits differ. *)
+  let root2 = Prng.create 2 in
+  let s1 = Prng.int64 (Prng.split root2) in
+  let s2 = Prng.int64 (Prng.split root2) in
+  Alcotest.(check bool) "distinct splits" true (not (Int64.equal s1 s2))
+
+let prop_prng_float_range =
+  QCheck.Test.make ~name:"float in [0,1)" ~count:500 QCheck.small_int (fun seed ->
+      let g = Prng.create seed in
+      let x = Prng.float g in
+      x >= 0.0 && x < 1.0)
+
+let prop_prng_int_range =
+  QCheck.Test.make ~name:"int in [0,bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      let x = Prng.int g bound in
+      x >= 0 && x < bound)
+
+let test_prng_exponential_mean () =
+  let g = Prng.create 99 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential g ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 3" true (abs_float (mean -. 3.0) < 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_event_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  ignore (Engine.schedule engine ~delay:2.0 (record "c"));
+  ignore (Engine.schedule engine ~delay:1.0 (record "a"));
+  ignore (Engine.schedule engine ~delay:1.0 (record "b"));
+  Engine.run engine;
+  Alcotest.(check (list string)) "fifo at same time" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock" 2.0 (Engine.now engine)
+
+let test_engine_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule engine ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_until () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule engine ~delay:(float_of_int i) (fun () -> incr fired))
+  done;
+  Engine.run ~until:5.5 engine;
+  Alcotest.(check int) "five fired" 5 !fired;
+  check_float "clock at horizon" 5.5 (Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check int) "rest fired" 10 !fired
+
+let test_engine_nested_schedule () =
+  let engine = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule engine ~delay:1.0 (fun () ->
+         times := Engine.now engine :: !times;
+         ignore
+           (Engine.schedule engine ~delay:0.5 (fun () -> times := Engine.now engine :: !times))));
+  Engine.run engine;
+  Alcotest.(check (list (float 1e-9))) "nested" [ 1.0; 1.5 ] (List.rev !times)
+
+(* ------------------------------------------------------------------ *)
+(* Fiber *)
+
+let run_fibers f =
+  let engine = Engine.create () in
+  let result = f engine in
+  Engine.run engine;
+  result
+
+let test_fiber_sleep () =
+  let engine = Engine.create () in
+  let wake_time = ref 0.0 in
+  ignore
+    (Fiber.spawn engine (fun () ->
+         Fiber.sleep 3.0;
+         wake_time := Engine.now engine));
+  Engine.run engine;
+  check_float "slept" 3.0 !wake_time
+
+let test_fiber_interleave () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let worker name pause =
+    Fiber.spawn engine (fun () ->
+        for i = 1 to 3 do
+          Fiber.sleep pause;
+          log := Printf.sprintf "%s%d" name i :: !log
+        done)
+  in
+  ignore (worker "a" 1.0);
+  ignore (worker "b" 1.5);
+  Engine.run engine;
+  Alcotest.(check (list string))
+    (* a wakes at 1,2,3; b at 1.5,3,4.5.  At t=3 b's timer was scheduled
+       earlier (t=1.5) than a's (t=2), so b2 precedes a3. *)
+    "interleaving" [ "a1"; "b1"; "a2"; "b2"; "a3"; "b3" ] (List.rev !log)
+
+let test_fiber_join () =
+  ignore
+    (run_fibers (fun engine ->
+         let done_order = ref [] in
+         let child =
+           Fiber.spawn engine ~label:"child" (fun () ->
+               Fiber.sleep 2.0;
+               done_order := "child" :: !done_order)
+         in
+         ignore
+           (Fiber.spawn engine ~label:"parent" (fun () ->
+                Fiber.join child;
+                done_order := "parent" :: !done_order;
+                Alcotest.(check (list string)) "order" [ "parent"; "child" ] !done_order))))
+
+let test_fiber_cancel_sleeping () =
+  let engine = Engine.create () in
+  let reached = ref false in
+  let cleaned = ref false in
+  let f =
+    Fiber.spawn engine (fun () ->
+        (try Fiber.sleep 100.0 with Fiber.Cancelled as e -> cleaned := true; raise e);
+        reached := true)
+  in
+  ignore (Engine.schedule engine ~delay:1.0 (fun () -> Fiber.cancel f));
+  Engine.run engine;
+  Alcotest.(check bool) "not reached" false !reached;
+  Alcotest.(check bool) "cleanup ran" true !cleaned;
+  Alcotest.(check bool) "terminated" true (Fiber.is_terminated f);
+  check_float "stopped early" 1.0 (Engine.now engine)
+
+let test_fiber_cancel_before_start () =
+  let engine = Engine.create () in
+  let ran = ref false in
+  let f = Fiber.spawn engine (fun () -> ran := true) in
+  Fiber.cancel f;
+  Engine.run engine;
+  Alcotest.(check bool) "never ran" false !ran;
+  Alcotest.(check bool) "terminated" true (Fiber.is_terminated f)
+
+let test_ivar_rendezvous () =
+  let engine = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  ignore (Fiber.spawn engine (fun () -> got := Ivar.read iv));
+  ignore
+    (Fiber.spawn engine (fun () ->
+         Fiber.sleep 5.0;
+         Ivar.fill iv 42));
+  Engine.run engine;
+  Alcotest.(check int) "value" 42 !got;
+  check_float "waited" 5.0 (Engine.now engine)
+
+let test_ivar_double_fill () =
+  let iv = Ivar.create () in
+  Ivar.fill iv 1;
+  Alcotest.(check bool) "second fill refused" false (Ivar.try_fill iv 2);
+  Alcotest.check_raises "fill raises" (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Ivar.fill iv 3)
+
+let test_mailbox_fifo () =
+  let engine = Engine.create () in
+  let mb = Mailbox.create engine in
+  let got = ref [] in
+  ignore
+    (Fiber.spawn engine (fun () ->
+         for _ = 1 to 3 do
+           match Mailbox.recv mb with
+           | Some v -> got := v :: !got
+           | None -> Alcotest.fail "unexpected timeout"
+         done));
+  ignore
+    (Fiber.spawn engine (fun () ->
+         Mailbox.send mb "x";
+         Fiber.sleep 1.0;
+         Mailbox.send mb "y";
+         Mailbox.send mb "z"));
+  Engine.run engine;
+  Alcotest.(check (list string)) "fifo" [ "x"; "y"; "z" ] (List.rev !got)
+
+let test_mailbox_timeout () =
+  let engine = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create engine in
+  let result = ref (Some 0) in
+  ignore (Fiber.spawn engine (fun () -> result := Mailbox.recv ~timeout:2.0 mb));
+  Engine.run engine;
+  Alcotest.(check (option int)) "timed out" None !result;
+  check_float "after timeout" 2.0 (Engine.now engine)
+
+let test_mailbox_timeout_then_message_not_lost () =
+  let engine = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create engine in
+  let first = ref None and second = ref None in
+  ignore
+    (Fiber.spawn engine (fun () ->
+         first := Mailbox.recv ~timeout:1.0 mb;
+         (* message arrives at t=2, after our timeout; a later recv must get it *)
+         Fiber.sleep 2.0;
+         second := Mailbox.recv ~timeout:1.0 mb));
+  ignore
+    (Fiber.spawn engine (fun () ->
+         Fiber.sleep 2.0;
+         Mailbox.send mb 7));
+  Engine.run engine;
+  Alcotest.(check (option int)) "first timed out" None !first;
+  Alcotest.(check (option int)) "second got message" (Some 7) !second
+
+let test_condition_signal_broadcast () =
+  let engine = Engine.create () in
+  let cond = Condition.create () in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Fiber.spawn engine (fun () ->
+           Condition.await cond;
+           incr woken))
+  done;
+  ignore
+    (Fiber.spawn engine (fun () ->
+         Fiber.sleep 1.0;
+         Condition.signal cond;
+         Fiber.sleep 1.0;
+         Condition.broadcast cond));
+  Engine.run engine;
+  Alcotest.(check int) "all woken" 3 !woken
+
+let test_condition_timeout () =
+  let engine = Engine.create () in
+  let cond = Condition.create () in
+  let outcome = ref `Signalled in
+  ignore (Fiber.spawn engine (fun () -> outcome := Condition.await_timeout engine cond 3.0));
+  Engine.run engine;
+  Alcotest.(check bool) "timed out" true (!outcome = `Timeout)
+
+let prop_fiber_sleep_monotone =
+  QCheck.Test.make ~name:"many sleepers wake in delay order" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0.0 100.0))
+    (fun delays ->
+      let engine = Engine.create () in
+      let wakes = ref [] in
+      List.iter
+        (fun d -> ignore (Fiber.spawn engine (fun () -> Fiber.sleep d; wakes := d :: !wakes)))
+        delays;
+      Engine.run engine;
+      let order = List.rev !wakes in
+      order = List.stable_sort Float.compare delays)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "circus_sim"
+    [ ( "heap",
+        [ Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_heap_empty ]
+        @ qcheck [ prop_heap_sorts ] );
+      ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "split advances" `Quick test_prng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean ]
+        @ qcheck [ prop_prng_float_range; prop_prng_int_range ] );
+      ( "engine",
+        [ Alcotest.test_case "event order" `Quick test_engine_event_order;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule ] );
+      ( "fiber",
+        [ Alcotest.test_case "sleep" `Quick test_fiber_sleep;
+          Alcotest.test_case "interleave" `Quick test_fiber_interleave;
+          Alcotest.test_case "join" `Quick test_fiber_join;
+          Alcotest.test_case "cancel sleeping" `Quick test_fiber_cancel_sleeping;
+          Alcotest.test_case "cancel before start" `Quick test_fiber_cancel_before_start ]
+        @ qcheck [ prop_fiber_sleep_monotone ] );
+      ( "sync",
+        [ Alcotest.test_case "ivar rendezvous" `Quick test_ivar_rendezvous;
+          Alcotest.test_case "ivar double fill" `Quick test_ivar_double_fill;
+          Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "mailbox timeout" `Quick test_mailbox_timeout;
+          Alcotest.test_case "mailbox message after timeout" `Quick
+            test_mailbox_timeout_then_message_not_lost;
+          Alcotest.test_case "condition signal+broadcast" `Quick test_condition_signal_broadcast;
+          Alcotest.test_case "condition timeout" `Quick test_condition_timeout ] ) ]

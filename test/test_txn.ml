@@ -1,0 +1,357 @@
+(* Tests for replicated transactions: 2PL lock manager with deadlock
+   detection, lightweight transactions, the troupe commit protocol, and
+   the ordered broadcast protocol. *)
+
+open Circus_sim
+open Circus_net
+open Circus_rpc
+open Circus_txn
+module Codec = Circus_wire.Codec
+
+let bytes_of = Bytes.of_string
+let string_of = Bytes.to_string
+
+(* ------------------------------------------------------------------ *)
+(* Waits-for graph *)
+
+let test_waits_for_cycle () =
+  let g = Waits_for.create () in
+  Waits_for.add_edge g ~waiter:1 ~holder:2;
+  Waits_for.add_edge g ~waiter:2 ~holder:3;
+  Alcotest.(check bool) "no cycle yet" false (Waits_for.would_deadlock g ~waiter:3 ~holders:[ 4 ]);
+  Alcotest.(check bool) "cycle 3->1" true (Waits_for.would_deadlock g ~waiter:3 ~holders:[ 1 ]);
+  Waits_for.remove_txn g 2;
+  Alcotest.(check bool) "broken after removal" false
+    (Waits_for.would_deadlock g ~waiter:3 ~holders:[ 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Lock manager *)
+
+let in_fiber f =
+  let engine = Engine.create () in
+  let result = ref None in
+  ignore (Fiber.spawn engine (fun () -> result := Some (f engine)));
+  Engine.run engine;
+  match !result with Some v -> v | None -> Alcotest.fail "fiber blocked forever"
+
+let test_locks_shared_reads () =
+  in_fiber (fun engine ->
+      let lm = Lock_manager.create engine in
+      Alcotest.(check bool) "r1" true (Lock_manager.acquire lm ~txn:1 ~key:"x" Lock_manager.Read = `Granted);
+      Alcotest.(check bool) "r2" true (Lock_manager.acquire lm ~txn:2 ~key:"x" Lock_manager.Read = `Granted);
+      Alcotest.(check int) "two holders" 2 (List.length (Lock_manager.holders lm ~key:"x")))
+
+let test_write_blocks_until_release () =
+  let engine = Engine.create () in
+  let lm = Lock_manager.create engine in
+  let order = ref [] in
+  ignore
+    (Fiber.spawn engine (fun () ->
+         ignore (Lock_manager.acquire lm ~txn:1 ~key:"x" Lock_manager.Write);
+         order := "t1-acquired" :: !order;
+         Fiber.sleep 2.0;
+         Lock_manager.release_all lm ~txn:1;
+         order := "t1-released" :: !order));
+  ignore
+    (Fiber.spawn engine (fun () ->
+         Fiber.sleep 0.1;
+         ignore (Lock_manager.acquire lm ~txn:2 ~key:"x" Lock_manager.Write);
+         order := "t2-acquired" :: !order));
+  Engine.run engine;
+  Alcotest.(check (list string)) "blocking order"
+    [ "t1-acquired"; "t1-released"; "t2-acquired" ] (List.rev !order)
+
+let test_deadlock_detected () =
+  let engine = Engine.create () in
+  let lm = Lock_manager.create engine in
+  let deadlocked = ref false in
+  ignore
+    (Fiber.spawn engine (fun () ->
+         ignore (Lock_manager.acquire lm ~txn:1 ~key:"a" Lock_manager.Write);
+         Fiber.sleep 1.0;
+         (* txn 2 holds b and waits for a; this would close the cycle *)
+         match Lock_manager.acquire lm ~txn:1 ~key:"b" Lock_manager.Write with
+         | `Deadlock ->
+           deadlocked := true;
+           Lock_manager.release_all lm ~txn:1
+         | `Granted -> ()));
+  ignore
+    (Fiber.spawn engine (fun () ->
+         Fiber.sleep 0.5;
+         ignore (Lock_manager.acquire lm ~txn:2 ~key:"b" Lock_manager.Write);
+         (* blocks until txn 1 releases after detecting the deadlock *)
+         ignore (Lock_manager.acquire lm ~txn:2 ~key:"a" Lock_manager.Write);
+         Lock_manager.release_all lm ~txn:2));
+  Engine.run engine;
+  Alcotest.(check bool) "deadlock detected" true !deadlocked
+
+let test_read_upgrade () =
+  in_fiber (fun engine ->
+      let lm = Lock_manager.create engine in
+      ignore (Lock_manager.acquire lm ~txn:1 ~key:"x" Lock_manager.Read);
+      Alcotest.(check bool) "lone upgrade" true
+        (Lock_manager.acquire lm ~txn:1 ~key:"x" Lock_manager.Write = `Granted))
+
+(* ------------------------------------------------------------------ *)
+(* Lightweight transactions *)
+
+let test_txn_commit_and_abort () =
+  in_fiber (fun engine ->
+      let store = Lightweight.create engine in
+      let t1 = Lightweight.begin_txn store in
+      Lightweight.set store t1 "k" (Some (bytes_of "v1"));
+      Lightweight.commit store t1;
+      Alcotest.(check (option string)) "committed" (Some "v1")
+        (Option.map string_of (Lightweight.read_committed store "k"));
+      let t2 = Lightweight.begin_txn store in
+      Lightweight.set store t2 "k" (Some (bytes_of "v2"));
+      Lightweight.set store t2 "other" (Some (bytes_of "x"));
+      Lightweight.abort store t2;
+      Alcotest.(check (option string)) "undone" (Some "v1")
+        (Option.map string_of (Lightweight.read_committed store "k"));
+      Alcotest.(check (option string)) "insert undone" None
+        (Option.map string_of (Lightweight.read_committed store "other")))
+
+let test_txn_savepoint () =
+  in_fiber (fun engine ->
+      let store = Lightweight.create engine in
+      let t = Lightweight.begin_txn store in
+      Lightweight.set store t "a" (Some (bytes_of "1"));
+      let sp = Lightweight.savepoint store t in
+      Lightweight.set store t "a" (Some (bytes_of "2"));
+      Lightweight.set store t "b" (Some (bytes_of "3"));
+      Lightweight.rollback_to store t sp;
+      Alcotest.(check (option string)) "a back to 1" (Some "1")
+        (Option.map string_of (Lightweight.get store t "a"));
+      Alcotest.(check (option string)) "b gone" None
+        (Option.map string_of (Lightweight.get store t "b"));
+      Lightweight.commit store t;
+      Alcotest.(check (option string)) "committed pre-savepoint" (Some "1")
+        (Option.map string_of (Lightweight.read_committed store "a")))
+
+let test_txn_snapshot_load () =
+  in_fiber (fun engine ->
+      let store = Lightweight.create engine in
+      let t = Lightweight.begin_txn store in
+      Lightweight.set store t "x" (Some (bytes_of "1"));
+      Lightweight.set store t "y" (Some (bytes_of "2"));
+      Lightweight.commit store t;
+      let snap = Lightweight.snapshot store in
+      let store2 = Lightweight.create engine in
+      Lightweight.load store2 snap;
+      Alcotest.(check (list (pair string string)))
+        "snapshot transferred"
+        [ ("x", "1"); ("y", "2") ]
+        (List.map (fun (k, v) -> (k, string_of v)) (Lightweight.snapshot store2)))
+
+let prop_backoff_doubles =
+  QCheck.Test.make ~name:"backoff delays bounded by doubling mean" ~count:100 QCheck.small_int
+    (fun seed ->
+      let b = Backoff.create ~initial:0.1 ~max_delay:10.0 (Prng.create seed) in
+      let ok = ref true in
+      let mean = ref 0.1 in
+      for _ = 1 to 10 do
+        let d = Backoff.next_delay b in
+        if d < 0.0 || d > 2.0 *. !mean then ok := false;
+        mean := min 10.0 (!mean *. 2.0)
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Troupe commit protocol *)
+
+type commit_world = {
+  engine : Engine.t;
+  client_rt : Runtime.t;
+  server_troupe : Troupe.t;
+  stores : Lightweight.t array;
+}
+
+(* A replicated "bank" troupe of [n] members.  Procedure 0 runs a
+   transfer transaction under the troupe commit protocol; procedure 1
+   reads a balance (directly, no transaction).  The coordinator troupe
+   travels in the call arguments. *)
+let make_commit_world ?(n = 2) ?seed () =
+  let engine = Engine.create ?seed () in
+  let net = Net.create engine () in
+  let env = Syscall.make net () in
+  let server_troupe_id = 500L in
+  let stores = Array.init n (fun _ -> Lightweight.create engine) in
+  let xfer_codec = Codec.triple Troupe.codec (Codec.pair Codec.string Codec.string) Codec.int in
+  let members =
+    List.init n (fun i ->
+        let h = Net.add_host net ~name:(Printf.sprintf "bank%d" i) () in
+        let rt = Runtime.create env h ~port:50 () in
+        Runtime.set_self_troupe rt server_troupe_id;
+        let store = stores.(i) in
+        let module_no =
+          Runtime.export rt (fun ctx ~proc_no body ->
+              match proc_no with
+              | 0 ->
+                let coordinator, (src, dst), amount = Codec.decode xfer_codec body in
+                Commit.run ctx ~store ~coordinator (fun txn ->
+                    let balance key =
+                      match Lightweight.get store txn key with
+                      | Some b -> int_of_string (string_of b)
+                      | None -> 100
+                    in
+                    let from_balance = balance src and to_balance = balance dst in
+                    Lightweight.set store txn src
+                      (Some (bytes_of (string_of_int (from_balance - amount))));
+                    Lightweight.set store txn dst
+                      (Some (bytes_of (string_of_int (to_balance + amount))));
+                    Bytes.empty)
+              | 1 -> (
+                match Lightweight.read_committed store (string_of body) with
+                | Some b -> b
+                | None -> bytes_of "100")
+              | _ -> raise Runtime.Bad_interface)
+        in
+        (rt, Runtime.module_addr rt module_no))
+  in
+  let server_troupe = Troupe.make ~id:server_troupe_id ~members:(List.map snd members) in
+  let server_addrs = List.map (fun (rt, _) -> Runtime.addr rt) members in
+  let client_host = Net.add_host net ~name:"teller" () in
+  let client_rt = Runtime.create env client_host () in
+  let resolver id = if Ids.Troupe_id.equal id server_troupe_id then Some server_addrs else None in
+  Runtime.set_resolver client_rt resolver;
+  List.iter (fun (rt, _) -> Runtime.set_export_troupe rt ~module_no:0 (Some server_troupe_id)) members;
+  { engine; client_rt; server_troupe; stores }
+
+let xfer_codec = Codec.triple Troupe.codec (Codec.pair Codec.string Codec.string) Codec.int
+
+let coordinator_troupe w =
+  let module_no = Commit.export_coordinator w.client_rt () in
+  Troupe.singleton (Runtime.module_addr w.client_rt module_no)
+
+let balances w key =
+  Array.to_list
+    (Array.map
+       (fun store ->
+         match Lightweight.read_committed store key with
+         | Some b -> int_of_string (string_of b)
+         | None -> 100)
+       w.stores)
+
+let test_commit_protocol_basic () =
+  let w = make_commit_world ~n:2 () in
+  let coordinator = coordinator_troupe w in
+  let completed = ref false in
+  ignore
+    (Runtime.spawn_thread w.client_rt (fun ctx ->
+         ignore
+           (Runtime.call_troupe ctx w.server_troupe ~proc_no:0
+              (Codec.encode xfer_codec (coordinator, ("alice", "bob"), 30)));
+         completed := true));
+  Engine.run w.engine;
+  Alcotest.(check bool) "transfer completed" true !completed;
+  Alcotest.(check (list int)) "alice consistent at all members" [ 70; 70 ] (balances w "alice");
+  Alcotest.(check (list int)) "bob consistent at all members" [ 130; 130 ] (balances w "bob")
+
+let test_commit_protocol_concurrent_transfers () =
+  (* Several concurrent conflicting transfers: the protocol must keep
+     all members identical and conserve the total. *)
+  let w = make_commit_world ~n:3 ~seed:17 () in
+  let coordinator = coordinator_troupe w in
+  let done_count = ref 0 in
+  let transfers = [ ("alice", "bob", 10); ("bob", "carol", 20); ("carol", "alice", 30); ("alice", "carol", 5) ] in
+  List.iter
+    (fun (src, dst, amount) ->
+      ignore
+        (Runtime.spawn_thread w.client_rt (fun ctx ->
+             ignore
+               (Runtime.call_troupe ctx w.server_troupe ~proc_no:0
+                  (Codec.encode xfer_codec (coordinator, (src, dst), amount)));
+             incr done_count)))
+    transfers;
+  Engine.run w.engine;
+  Alcotest.(check int) "all transfers completed" (List.length transfers) !done_count;
+  let alice = balances w "alice" and bob = balances w "bob" and carol = balances w "carol" in
+  let consistent l = List.for_all (fun v -> v = List.hd l) l in
+  Alcotest.(check bool) (Printf.sprintf "alice consistent %s" (String.concat "," (List.map string_of_int alice))) true (consistent alice);
+  Alcotest.(check bool) "bob consistent" true (consistent bob);
+  Alcotest.(check bool) "carol consistent" true (consistent carol);
+  Alcotest.(check int) "total conserved" 300 (List.hd alice + List.hd bob + List.hd carol)
+
+(* ------------------------------------------------------------------ *)
+(* Ordered broadcast *)
+
+let test_ordered_broadcast_same_order () =
+  let engine = Engine.create ~seed:3 () in
+  let net = Net.create engine () in
+  let env = Syscall.make net () in
+  let n = 3 in
+  let logs = Array.make n [] in
+  let members =
+    List.init n (fun i ->
+        (* Skewed but bounded clocks (§5.4 assumes synchronization). *)
+        let h = Net.add_host net ~clock_offset:(0.01 *. float_of_int i) () in
+        let rt = Runtime.create env h ~port:50 () in
+        let ob = Ordered_broadcast.create h ~deliver:(fun body -> logs.(i) <- string_of body :: logs.(i)) in
+        let module_no = Ordered_broadcast.export rt ob in
+        Runtime.module_addr rt module_no)
+  in
+  let troupe = Troupe.make ~id:600L ~members in
+  let client_rt = Runtime.create env (Net.add_host net ()) () in
+  let client_rt2 = Runtime.create env (Net.add_host net ()) () in
+  (* Two independent broadcasters, interleaved in time. *)
+  ignore
+    (Runtime.spawn_thread client_rt (fun ctx ->
+         for k = 1 to 4 do
+           Ordered_broadcast.atomic_broadcast ctx troupe (bytes_of (Printf.sprintf "a%d" k));
+           Fiber.sleep 0.013
+         done));
+  ignore
+    (Runtime.spawn_thread client_rt2 (fun ctx ->
+         Fiber.sleep 0.005;
+         for k = 1 to 4 do
+           Ordered_broadcast.atomic_broadcast ctx troupe (bytes_of (Printf.sprintf "b%d" k));
+           Fiber.sleep 0.011
+         done));
+  Engine.run engine;
+  let sequences = Array.to_list (Array.map List.rev logs) in
+  List.iter
+    (fun seq -> Alcotest.(check int) "all eight delivered" 8 (List.length seq))
+    sequences;
+  (* The whole point: identical delivery order at every member. *)
+  match sequences with
+  | first :: rest ->
+    List.iteri
+      (fun i seq ->
+        Alcotest.(check (list string)) (Printf.sprintf "member %d order" (i + 1)) first seq)
+      rest
+  | [] -> Alcotest.fail "no members"
+
+let test_deterministic_cc_serializes () =
+  let engine = Engine.create () in
+  let net = Net.create engine () in
+  let h = Net.add_host net () in
+  let cc = Deterministic_cc.create h in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Deterministic_cc.submit cc (fun () -> log := i :: !log)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "in submission order" [ 1; 2; 3; 4; 5 ] (List.rev !log);
+  Alcotest.(check int) "count" 5 (Deterministic_cc.executed cc)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "circus_txn"
+    [ ("waits_for", [ Alcotest.test_case "cycle detection" `Quick test_waits_for_cycle ]);
+      ( "locks",
+        [ Alcotest.test_case "shared reads" `Quick test_locks_shared_reads;
+          Alcotest.test_case "write blocks" `Quick test_write_blocks_until_release;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "read upgrade" `Quick test_read_upgrade ] );
+      ( "lightweight",
+        [ Alcotest.test_case "commit and abort" `Quick test_txn_commit_and_abort;
+          Alcotest.test_case "savepoint" `Quick test_txn_savepoint;
+          Alcotest.test_case "snapshot/load" `Quick test_txn_snapshot_load ]
+        @ qcheck [ prop_backoff_doubles ] );
+      ( "commit",
+        [ Alcotest.test_case "basic" `Quick test_commit_protocol_basic;
+          Alcotest.test_case "concurrent transfers" `Quick test_commit_protocol_concurrent_transfers ] );
+      ( "ordered_broadcast",
+        [ Alcotest.test_case "same order at all members" `Quick test_ordered_broadcast_same_order;
+          Alcotest.test_case "deterministic cc" `Quick test_deterministic_cc_serializes ] ) ]
