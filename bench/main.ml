@@ -4,7 +4,13 @@
    per experiment.
 
    Run with: dune exec bench/main.exe
-   (pass --quick to skip the Bechamel pass) *)
+   (pass --quick to skip the Bechamel pass)
+
+   CI runs [--smoke --json out.json]: a sub-minute pass over the
+   Table 4.1 experiment with reduced iteration counts that writes the
+   measured rows (and the paper's published numbers) as JSON, uploaded
+   as a build artifact so regressions in the simulated performance
+   model show up in the workflow run. *)
 
 open Bechamel
 open Toolkit
@@ -280,9 +286,64 @@ let run_bechamel () =
          | Some _ | None -> Printf.printf "%-28s | %14s\n" name "n/a")
 
 (* ------------------------------------------------------------------ *)
+(* Smoke mode: Table 4.1 with reduced iteration counts, exported as
+   JSON for the CI artifact.  Deterministic — the simulation is seeded
+   — so two runs of the same build produce byte-identical files. *)
+
+let fr = Circus_trace.Event.float_repr
+
+let json_of_rows (rows : Workloads.cpu_row list) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\"table\":\"4.1\",\"unit\":\"ms_per_call\",\"mode\":\"smoke\",\"rows\":[";
+  List.iteri
+    (fun i (row : Workloads.cpu_row) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n{\"label\":\"%s\",\"real_ms\":%s,\"total_cpu_ms\":%s,\"user_cpu_ms\":%s,\"kernel_cpu_ms\":%s"
+           row.Workloads.label (fr row.Workloads.real_ms)
+           (fr row.Workloads.total_cpu_ms) (fr row.Workloads.user_cpu_ms)
+           (fr row.Workloads.kernel_cpu_ms));
+      (match List.find_opt (fun (l, _, _, _, _) -> l = row.Workloads.label) paper_4_1 with
+      | Some (_, r, t, u, k) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             ",\"paper\":{\"real_ms\":%s,\"total_cpu_ms\":%s,\"user_cpu_ms\":%s,\"kernel_cpu_ms\":%s}"
+             (fr r) (fr t) (fr u) (fr k))
+      | None -> ());
+      Buffer.add_char buf '}')
+    rows;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let run_smoke ~json_path =
+  print_endline "Circus benchmark smoke pass (reduced iterations; Table 4.1 only).";
+  let all_rows, _ = Workloads.table_4_1 ~iterations:10 () in
+  print_table_4_1 all_rows;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (json_of_rows all_rows);
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path
+
+let flag_value name argv =
+  let rec scan = function
+    | flag :: value :: _ when String.equal flag name -> Some value
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list argv)
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  if smoke then begin
+    run_smoke ~json_path:(flag_value "--json" Sys.argv);
+    exit 0
+  end;
   print_endline "Circus benchmark harness: regenerating the paper's tables and figures.";
   print_endline "(simulated 1985 testbed: VAX-class CPUs, 10 Mb/s Ethernet)";
   let all_rows, circus_rows = Workloads.table_4_1 () in

@@ -4,7 +4,13 @@
    neither knows nor cares that the service is replicated — replication
    transparency — and keeps working when a member crashes mid-run.
 
-   Run with: dune exec examples/quickstart.exe *)
+   Run with: dune exec examples/quickstart.exe
+
+   Pass [--trace FILE.json] to record a structured event trace of the
+   whole run and export it in Chrome trace_event format: open the file
+   at https://ui.perfetto.dev (or about://tracing) to see fibers,
+   datagrams, RPC spans and the crash on a timeline.
+   [--trace-jsonl FILE.jsonl] writes the line-oriented form instead. *)
 
 open Circus_sim
 open Circus_net
@@ -39,8 +45,19 @@ let start_member sys index =
            (System.now sys) index (Circus_rpc.Troupe.size troupe)));
   process
 
+let flag_value name =
+  let rec scan = function
+    | flag :: value :: _ when String.equal flag name -> Some value
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
+  let trace_chrome = flag_value "--trace" in
+  let trace_jsonl = flag_value "--trace-jsonl" in
   let sys = System.create ~seed:2026 () in
+  if trace_chrome <> None || trace_jsonl <> None then ignore (System.enable_tracing sys);
   let members = List.init 3 (start_member sys) in
   (* Crash one replica at t = 2s; the program must not notice. *)
   let victim = List.nth members 1 in
@@ -62,4 +79,14 @@ let () =
          Service.call client ctx ~service:"kv" put ("status", "still-available");
          Printf.printf "[%6.3fs] client wrote status=still-available\n" (System.now sys)));
   System.run sys;
+  (match trace_chrome with
+  | Some path ->
+    System.export_trace sys `Chrome path;
+    Printf.printf "wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n" path
+  | None -> ());
+  (match trace_jsonl with
+  | Some path ->
+    System.export_trace sys `Jsonl path;
+    Printf.printf "wrote JSONL trace to %s\n" path
+  | None -> ());
   print_endline "done."

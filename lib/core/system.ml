@@ -48,3 +48,13 @@ let process t ?host ?port ?name ?meter () =
 let spawn process ?label f = Runtime.spawn_thread process.runtime ?label f
 let run ?until t = Engine.run ?until t.engine
 let now t = Engine.now t.engine
+
+let enable_tracing ?capacity t = Engine.enable_tracing ?capacity t.engine
+
+let export_trace _t format path =
+  match Circus_trace.Trace.active () with
+  | None -> ()
+  | Some sink -> (
+    match format with
+    | `Chrome -> Circus_trace.Export.chrome_to_file sink path
+    | `Jsonl -> Circus_trace.Export.jsonl_to_file sink path)

@@ -44,3 +44,12 @@ val run : ?until:float -> t -> unit
 (** Run the simulation to quiescence (or the given virtual time). *)
 
 val now : t -> float
+
+val enable_tracing : ?capacity:int -> t -> Circus_trace.Trace.sink
+(** Install a {!Circus_trace.Trace} sink on this system's engine clock.
+    Export the returned sink with {!Circus_trace.Export} after
+    {!run}. *)
+
+val export_trace : t -> [ `Chrome | `Jsonl ] -> string -> unit
+(** Write the active trace to a file in the given format; no-op when
+    tracing was never enabled. *)

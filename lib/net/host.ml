@@ -1,4 +1,5 @@
 open Circus_sim
+module Trace = Circus_trace.Trace
 
 type attribute_value =
   | Str of string
@@ -56,6 +57,10 @@ let spawn t ?label f =
 
 let crash t =
   if t.alive then begin
+    if Trace.on () then
+      Trace.emit ~cat:"host" ~host:t.id
+        ~args:[ ("name", Circus_trace.Event.Str t.name) ]
+        "crash";
     t.alive <- false;
     let fibers = t.fibers in
     t.fibers <- [];
@@ -67,6 +72,10 @@ let crash t =
 
 let restart t =
   if not t.alive then begin
+    if Trace.on () then
+      Trace.emit ~cat:"host" ~host:t.id
+        ~args:[ ("incarnation", Circus_trace.Event.Int (t.incarnation + 1)) ]
+        "restart";
     t.alive <- true;
     t.incarnation <- t.incarnation + 1;
     t.cpu_busy_until <- Engine.now t.engine
@@ -82,6 +91,24 @@ let use_cpu t ?meter ~kind cost =
   let start = if t.cpu_busy_until > now then t.cpu_busy_until else now in
   t.cpu_busy_until <- start +. cost;
   t.cpu_total <- t.cpu_total +. cost;
+  (* Syscall enter/exit with its metered cost: rendered as a complete
+     slice ([ph:"X"]) on this host's track.  [queued] records how long
+     the call waited behind earlier CPU work. *)
+  if Trace.on () then begin
+    match kind with
+    | `User ->
+      Trace.incr "cpu.user_calls";
+      Trace.observe "cpu.user" cost
+    | `Kernel name ->
+      Trace.emit ~cat:"syscall" ~host:t.id
+        ~phase:(Circus_trace.Event.Complete cost)
+        ~args:
+          [ ("cost", Circus_trace.Event.Float cost);
+            ("queued", Circus_trace.Event.Float (start -. now)) ]
+        name;
+      Trace.incr ("syscall." ^ name);
+      Trace.observe ("syscall." ^ name) cost
+  end;
   (match meter with
   | None -> ()
   | Some m -> (

@@ -1,4 +1,6 @@
 open Circus_sim
+module Trace = Circus_trace.Trace
+module Tev = Circus_trace.Event
 
 type params = {
   propagation : float;
@@ -120,8 +122,16 @@ let socket_addr sock = sock.addr
 let socket_host sock = sock.owner
 let mailbox sock = sock.mailbox
 
-let set_partition t groups = t.partition <- Some groups
-let heal_partition t = t.partition <- None
+let set_partition t groups =
+  if Trace.on () then
+    Trace.emit ~cat:"net"
+      ~args:[ ("groups", Tev.Int (List.length groups)) ]
+      "partition";
+  t.partition <- Some groups
+
+let heal_partition t =
+  if Trace.on () then Trace.emit ~cat:"net" "heal";
+  t.partition <- None
 
 let reachable t a b =
   match t.partition with
@@ -137,6 +147,24 @@ let reset_stats t =
   t.stats.duplicated <- 0;
   t.stats.bytes_sent <- 0
 
+(* Datagram lifecycle events share one argument shape so trace
+   assertions can follow a packet across send/dup/drop/deliver. *)
+let trace_dgram t name ~(dgram : datagram) ~reason =
+  if Trace.on () then begin
+    let args =
+      [ ("src", Tev.Int dgram.src.Addr.host);
+        ("sport", Tev.Int dgram.src.Addr.port);
+        ("dst", Tev.Int dgram.dst.Addr.host);
+        ("dport", Tev.Int dgram.dst.Addr.port);
+        ("len", Tev.Int (Bytes.length dgram.payload)) ]
+    in
+    let args = match reason with Some r -> ("reason", Tev.Str r) :: args | None -> args in
+    let host = if name = "deliver" then dgram.dst.Addr.host else dgram.src.Addr.host in
+    Trace.emit ~cat:"net" ~host ~args name;
+    Trace.incr ("net." ^ name)
+  end;
+  ignore t
+
 (* Schedule delivery of one copy of a datagram.  Liveness and binding
    are re-checked at arrival time: a host that crashes in flight never
    sees the packet. *)
@@ -149,8 +177,11 @@ let deliver_copy t dgram delay =
                 && Host.is_alive sock.owner
                 && Addr.equal sock.addr dgram.dst ->
            t.stats.delivered <- t.stats.delivered + 1;
+           trace_dgram t "deliver" ~dgram ~reason:None;
            Mailbox.send sock.mailbox dgram
-         | Some _ | None -> t.stats.dropped <- t.stats.dropped + 1))
+         | Some _ | None ->
+           t.stats.dropped <- t.stats.dropped + 1;
+           trace_dgram t "drop" ~dgram ~reason:(Some "unbound")))
 
 let transit_delay t len =
   t.params.propagation
@@ -159,13 +190,22 @@ let transit_delay t len =
 
 let send_one t dgram =
   let len = Bytes.length dgram.payload in
-  if not (reachable t dgram.src.Addr.host dgram.dst.Addr.host) then
-    t.stats.dropped <- t.stats.dropped + 1
+  trace_dgram t "send" ~dgram ~reason:None;
+  if not (reachable t dgram.src.Addr.host dgram.dst.Addr.host) then begin
+    t.stats.dropped <- t.stats.dropped + 1;
+    trace_dgram t "drop" ~dgram ~reason:(Some "partition")
+  end
   else begin
     let copies = if Prng.bool t.prng ~p:t.params.duplication then 2 else 1 in
-    if copies = 2 then t.stats.duplicated <- t.stats.duplicated + 1;
+    if copies = 2 then begin
+      t.stats.duplicated <- t.stats.duplicated + 1;
+      trace_dgram t "dup" ~dgram ~reason:None
+    end;
     for _ = 1 to copies do
-      if Prng.bool t.prng ~p:t.params.loss then t.stats.dropped <- t.stats.dropped + 1
+      if Prng.bool t.prng ~p:t.params.loss then begin
+        t.stats.dropped <- t.stats.dropped + 1;
+        trace_dgram t "drop" ~dgram ~reason:(Some "loss")
+      end
       else deliver_copy t dgram (transit_delay t len)
     done
   end

@@ -1,4 +1,5 @@
 open Circus_sim
+module Trace = Circus_trace.Trace
 
 type costs = {
   sendmsg : float;
@@ -62,6 +63,20 @@ let select env ?meter ?timeout socks =
   let readable () = List.exists (fun s -> Mailbox.length (Net.mailbox s) > 0) socks in
   if readable () then true
   else begin
+    (* The blocking wait inside select, as a span on the host's track:
+       the gap between a select's slice and its wake is idle time the
+       paper's tables attribute to real time but not CPU time. *)
+    let trace_scope =
+      if Trace.on () then
+        match socks with
+        | sock :: _ ->
+          let host = Host.id (Net.socket_host sock) in
+          let fiber = Fiber.id (Fiber.self ()) in
+          Trace.span_begin ~cat:"syscall" ~host ~fiber "select.wait";
+          Some (host, fiber)
+        | [] -> None
+      else None
+    in
     let watchers = ref [] in
     let timer = ref None in
     let cleanup () =
@@ -85,9 +100,21 @@ let select env ?meter ?timeout socks =
                        wake (Ok false))))
       with e ->
         cleanup ();
+        (match trace_scope with
+        | Some (host, fiber) ->
+          Trace.span_end ~cat:"syscall" ~host ~fiber
+            ~args:[ ("raised", Circus_trace.Event.Bool true) ]
+            "select.wait"
+        | None -> ());
         raise e
     in
     cleanup ();
+    (match trace_scope with
+    | Some (host, fiber) ->
+      Trace.span_end ~cat:"syscall" ~host ~fiber
+        ~args:[ ("ready", Circus_trace.Event.Bool result) ]
+        "select.wait"
+    | None -> ());
     result
   end
 

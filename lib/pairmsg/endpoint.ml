@@ -1,8 +1,17 @@
 open Circus_sim
 open Circus_net
+module Trace = Circus_trace.Trace
+module Tev = Circus_trace.Event
 
 exception Crashed of Addr.t
 exception Rejected of Addr.t
+
+let msg_type_str = function
+  | Segment.Call -> "call"
+  | Segment.Return -> "return"
+  | Segment.Probe -> "probe"
+  | Segment.Probe_ack -> "probe_ack"
+  | Segment.Reject -> "reject"
 
 type config = {
   retransmit_interval : float;
@@ -85,7 +94,24 @@ let seg_size t = (Net.params (Syscall.net t.env)).Net.mtu - Segment.header_size
 (* ------------------------------------------------------------------ *)
 (* Sending *)
 
-let send_segment t ~dst seg = Syscall.sendmsg t.env ~meter:t.meter t.sock ~dst (Segment.encode seg)
+(* Segment lifecycle: every transmitted segment is an event, so a test
+   can count retransmissions or follow one call's segments across the
+   wire. *)
+let trace_seg t name ~(dst : Addr.t) (seg : Segment.t) =
+  if Trace.on () then
+    Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+      ~args:
+        [ ("type", Tev.Str (msg_type_str seg.Segment.msg_type));
+          ("call_no", Tev.I32 seg.Segment.call_no);
+          ("seg_no", Tev.Int seg.Segment.seg_no);
+          ("total", Tev.Int seg.Segment.total);
+          ("ack", Tev.Bool seg.Segment.ack);
+          ("dst", Tev.Int dst.Addr.host) ]
+      name
+
+let send_segment t ~dst seg =
+  trace_seg t "seg_send" ~dst seg;
+  Syscall.sendmsg t.env ~meter:t.meter t.sock ~dst (Segment.encode seg)
 
 let send_ack t ~dst ~msg_type ~total ~ack_no ~call_no =
   send_segment t ~dst (Segment.ack_segment ~msg_type ~total ~ack_no ~call_no)
@@ -105,14 +131,25 @@ let retransmit_loop t out =
         attempts := 0
       end;
       incr attempts;
-      if !attempts > t.config.max_retransmits then out.o_failed <- true
+      if !attempts > t.config.max_retransmits then begin
+        if Trace.on () then
+          Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+            ~args:
+              [ ("type", Tev.Str (msg_type_str out.o_type));
+                ("call_no", Tev.I32 out.o_call_no);
+                ("dst", Tev.Int out.o_dst.Addr.host) ]
+            "give_up";
+        out.o_failed <- true
+      end
       else begin
         let next = out.o_acked + 1 in
-        if next <= Array.length out.o_segments then
+        if next <= Array.length out.o_segments then begin
+          if Trace.on () then Trace.incr "pairmsg.retransmits";
           send_segment t ~dst:out.o_dst
             (Segment.data_segment ~msg_type:out.o_type ~please_ack:true
                ~total:(Array.length out.o_segments) ~seg_no:next ~call_no:out.o_call_no
                out.o_segments.(next - 1))
+        end
       end
     end
   done;
@@ -137,6 +174,13 @@ let start_outgoing t ~dst ~msg_type ~call_no body ~send_burst =
   out
 
 let finish_outgoing t out =
+  if Trace.on () then
+    Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+      ~args:
+        [ ("type", Tev.Str (msg_type_str out.o_type));
+          ("call_no", Tev.I32 out.o_call_no);
+          ("dst", Tev.Int out.o_dst.Addr.host) ]
+      "msg_acked";
   out.o_done <- true;
   Hashtbl.remove t.outgoing (out.o_dst, out.o_type, out.o_call_no)
 
@@ -145,6 +189,13 @@ let finish_outgoing t out =
 
 let finish_exchange t x result =
   if not x.x_finished then begin
+    if Trace.on () then
+      Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+        ~args:
+          [ ("call_no", Tev.I32 x.x_call_no);
+            ("dst", Tev.Int x.x_dst.Addr.host);
+            ("ok", Tev.Bool (Result.is_ok result)) ]
+        "call_done";
     x.x_finished <- true;
     Hashtbl.remove t.exchanges (x.x_dst, x.x_call_no);
     if not x.x_out.o_done then finish_outgoing t x.x_out;
@@ -191,6 +242,14 @@ let call_many t ~dsts ?(multicast = false) ?call_no body =
   if dsts = [] then invalid_arg "Endpoint.call_many: no destinations";
   if t.closed then invalid_arg "Endpoint.call_many: endpoint closed";
   let call_no = match call_no with Some n -> n | None -> next_call_no t in
+  if Trace.on () then
+    Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+      ~args:
+        [ ("call_no", Tev.I32 call_no);
+          ("dsts", Tev.Int (List.length dsts));
+          ("multicast", Tev.Bool multicast);
+          ("len", Tev.Int (Bytes.length body)) ]
+      "call_start";
   let replies = Mailbox.create t.engine in
   ignore (Syscall.gettimeofday t.env ~meter:t.meter t.host);
   Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_call;
@@ -323,6 +382,13 @@ let implicit_acks t ~src seg =
 
 let deliver_call t ~src ~call_no body =
   if not (Hashtbl.mem t.executed (src, call_no)) then begin
+    if Trace.on () then
+      Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+        ~args:
+          [ ("call_no", Tev.I32 call_no);
+            ("src", Tev.Int src.Addr.host);
+            ("len", Tev.Int (Bytes.length body)) ]
+        "deliver_call";
     Hashtbl.replace t.executed (src, call_no) ();
     if Int32.compare call_no (completed_up_to t src) > 0 then
       Hashtbl.replace t.completed src call_no;
@@ -336,6 +402,13 @@ let deliver_call t ~src ~call_no body =
   end
 
 let deliver_return t ~src ~call_no body =
+  if Trace.on () then
+    Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+      ~args:
+        [ ("call_no", Tev.I32 call_no);
+          ("src", Tev.Int src.Addr.host);
+          ("len", Tev.Int (Bytes.length body)) ]
+      "deliver_return";
   match Hashtbl.find_opt t.exchanges (src, call_no) with
   | Some x -> finish_exchange t x (Ok body)
   | None -> ()

@@ -1,6 +1,8 @@
 open Circus_sim
 open Circus_net
 module Buf = Circus_wire.Buf
+module Trace = Circus_trace.Trace
+module Tev = Circus_trace.Event
 
 (* Wire kinds: 0 SYN, 1 SYNACK, 2 ACK, 3 DATA, 4 DACK. *)
 
@@ -112,6 +114,10 @@ let chunk_payload env = (Net.params (Syscall.net env)).Net.mtu - 8
 
 let send conn body =
   if conn.closed then invalid_arg "Stream.send: closed";
+  if Trace.on () then
+    Trace.emit ~cat:"tcp" ~host:(Host.id conn.host)
+      ~args:[ ("len", Tev.Int (Bytes.length body)); ("dst", Tev.Int conn.peer.Addr.host) ]
+      "send";
   (* user-mode work of the test program around each write: Table 4.1
      reports 0.5 ms user CPU per TCP echo. *)
   Syscall.compute conn.env ?meter:conn.meter conn.host 0.25e-3;
@@ -133,7 +139,14 @@ let send conn body =
         if Int32.compare conn.acked seq < 0 && not conn.closed then
           match Condition.await_timeout (Host.engine conn.host) conn.ack_cond rto with
           | `Signalled -> await ()
-          | `Timeout -> push ()
+          | `Timeout ->
+            if Trace.on () then begin
+              Trace.incr "tcp.retransmits";
+              Trace.emit ~cat:"tcp" ~host:(Host.id conn.host)
+                ~args:[ ("seq", Tev.I32 seq); ("dst", Tev.Int conn.peer.Addr.host) ]
+                "retransmit"
+            end;
+            push ()
       in
       await ()
     in
@@ -143,6 +156,10 @@ let send conn body =
 let recv ?timeout conn =
   match Mailbox.recv ?timeout conn.messages with
   | Some body ->
+    if Trace.on () then
+      Trace.emit ~cat:"tcp" ~host:(Host.id conn.host)
+        ~args:[ ("len", Tev.Int (Bytes.length body)); ("src", Tev.Int conn.peer.Addr.host) ]
+        "recv";
     Syscall.compute conn.env ?meter:conn.meter conn.host 0.25e-3;
     Syscall.read_stream conn.env ?meter:conn.meter conn.host;
     Some body
@@ -174,6 +191,10 @@ let listen env host ~port =
                    let conn_sock = Net.udp_bind net host () in
                    let conn = make_conn env host conn_sock peer in
                    let entry = (conn, (Net.socket_addr conn_sock).Addr.port) in
+                   if Trace.on () then
+                     Trace.emit ~cat:"tcp" ~host:(Host.id host)
+                       ~args:[ ("peer", Tev.Int peer.Addr.host) ]
+                       "accept";
                    Hashtbl.replace listener.l_conns peer entry;
                    Mailbox.send listener.l_accept conn;
                    entry
@@ -207,6 +228,8 @@ let connect env host ?meter ~dst () =
     | None -> handshake (tries - 1)
   in
   let peer = handshake 20 in
+  if Trace.on () then
+    Trace.emit ~cat:"tcp" ~host:(Host.id host) ~args:[ ("peer", Tev.Int peer.Addr.host) ] "connect";
   let conn = make_conn env host sock peer in
   (match meter with Some m -> set_meter conn m | None -> ());
   Net.send net ~src:(Net.socket_addr sock) ~dst:peer (frame ~kind:2 Bytes.empty);

@@ -1,4 +1,5 @@
 open Circus_net
+module Trace = Circus_trace.Trace
 
 type reply = { from : Addr.module_addr; message : Rpc_msg.return_msg option }
 type t = total:int -> reply Seq.t -> Rpc_msg.return_msg
@@ -7,7 +8,13 @@ exception Disagreement
 exception No_majority
 exception Troupe_failed
 
+(* Collation policies are pure, so instrumentation is metrics-only: a
+   counter per policy, plus one for detected disagreements — the
+   quantity the paper's voting discussion (§4.3.4) turns on. *)
+let tick name = if Trace.on () then Trace.incr ("rpc.collate." ^ name)
+
 let unanimous ~total:_ replies =
+  tick "unanimous";
   let representative = ref None in
   Seq.iter
     (fun r ->
@@ -16,11 +23,16 @@ let unanimous ~total:_ replies =
       | Some msg -> (
         match !representative with
         | None -> representative := Some msg
-        | Some first -> if msg <> first then raise Disagreement))
+        | Some first ->
+          if msg <> first then begin
+            tick "disagreement";
+            raise Disagreement
+          end))
     replies;
   match !representative with Some msg -> msg | None -> raise Troupe_failed
 
 let first_come ~total:_ replies =
+  tick "first_come";
   let rec scan s =
     match s () with
     | Seq.Nil -> raise Troupe_failed
@@ -63,10 +75,12 @@ let count_votes ~threshold ~total replies =
   scan replies
 
 let majority ~total replies =
+  tick "majority";
   let threshold = (total / 2) + 1 in
   count_votes ~threshold ~total replies
 
 let quorum k ~total replies =
+  tick "quorum";
   if k < 1 || k > total then invalid_arg "Collator.quorum: bad quorum size";
   try count_votes ~threshold:k ~total replies with No_majority -> raise Troupe_failed
 

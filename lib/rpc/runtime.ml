@@ -2,6 +2,8 @@ open Circus_sim
 open Circus_net
 open Circus_pairmsg
 module Codec = Circus_wire.Codec
+module Trace = Circus_trace.Trace
+module Tev = Circus_trace.Event
 
 exception Remote_error of string
 exception Stale_binding of Ids.Troupe_id.t
@@ -118,7 +120,21 @@ let expected_calls t client_troupe =
   if Ids.Troupe_id.equal client_troupe Ids.Troupe_id.none then 1
   else match t.resolver client_troupe with Some members -> List.length members | None -> 1
 
+let return_kind = function
+  | Rpc_msg.Ok_result _ -> "ok"
+  | Rpc_msg.App_error _ -> "app_error"
+  | Rpc_msg.Stale_troupe -> "stale_troupe"
+  | Rpc_msg.No_such_module -> "no_such_module"
+  | Rpc_msg.No_such_procedure -> "no_such_procedure"
+
 let send_return t ~dst ~pair_no msg =
+  if Trace.on () then
+    Trace.emit ~cat:"rpc" ~host:(Host.id t.host)
+      ~args:
+        [ ("dst", Tev.Int dst.Addr.host);
+          ("pair_no", Tev.I32 pair_no);
+          ("kind", Tev.Str (return_kind msg)) ]
+      "return";
   Endpoint.reply t.endpoint ~dst ~call_no:pair_no (Codec.encode Rpc_msg.return_codec msg)
 
 let reply_waiters t m2o msg =
@@ -149,13 +165,41 @@ let execute t export m2o =
         let args_in_arrival_order = List.rev_map (fun (_, _, args) -> args) m2o.m2o_received in
         f ctx ~proc_no:call.Rpc_msg.proc_no ~expected:m2o.m2o_expected args_in_arrival_order
     in
+    (* The server-side execution as a span on this host's track; the
+       fiber scope keeps concurrent executions on one host properly
+       nested. *)
+    let trace_scope =
+      if Trace.on () then begin
+        let host = Host.id t.host and fiber = Fiber.id (Fiber.self ()) in
+        Trace.span_begin ~cat:"rpc" ~host ~fiber
+          ~args:
+            [ ("module", Tev.Int call.Rpc_msg.module_no);
+              ("proc", Tev.Int call.Rpc_msg.proc_no);
+              ("received", Tev.Int (List.length m2o.m2o_received));
+              ("expected",
+                Tev.Int (if m2o.m2o_expected = max_int then -1 else m2o.m2o_expected)) ]
+          "execute";
+        Some (host, fiber)
+      end
+      else None
+    in
+    let trace_end ?args () =
+      match trace_scope with
+      | Some (host, fiber) -> Trace.span_end ~cat:"rpc" ~host ~fiber ?args "execute"
+      | None -> ()
+    in
     let result =
       match run () with
       | body -> Rpc_msg.Ok_result body
       | exception Remote_error e -> Rpc_msg.App_error e
-      | exception Fiber.Cancelled -> raise Fiber.Cancelled
+      | exception Fiber.Cancelled ->
+        trace_end ~args:[ ("cancelled", Tev.Bool true) ] ();
+        raise Fiber.Cancelled
       | exception e -> Rpc_msg.App_error (Printexc.to_string e)
     in
+    trace_end
+      ~args:[ ("ok", Tev.Bool (match result with Rpc_msg.Ok_result _ -> true | _ -> false)) ]
+      ();
     m2o.m2o_state <- Done result;
     reply_waiters t m2o result;
     (match export.policy with
@@ -222,6 +266,14 @@ let handle_reserved t ~src ~pair_no (call : Rpc_msg.call) export =
   else false
 
 let handle_call t ~src ~pair_no (call : Rpc_msg.call) =
+  if Trace.on () then
+    Trace.emit ~cat:"rpc" ~host:(Host.id t.host)
+      ~args:
+        [ ("module", Tev.Int call.Rpc_msg.module_no);
+          ("proc", Tev.Int call.Rpc_msg.proc_no);
+          ("src", Tev.Int src.Addr.host);
+          ("seq", Tev.I64 call.Rpc_msg.seq) ]
+      "recv_call";
   match Hashtbl.find_opt t.exports call.Rpc_msg.module_no with
   | None -> send_return t ~dst:src ~pair_no Rpc_msg.No_such_module
   | Some export when handle_reserved t ~src ~pair_no call export -> ()
@@ -337,6 +389,14 @@ let call_troupe_gen ctx (troupe : Troupe.t) ~proc_no ?(multicast = false) args =
   let t = ctx.rt in
   let pair_no = Endpoint.next_call_no t.endpoint in
   let call_seq = next_call_seq ctx in
+  if Trace.on () then
+    Trace.emit ~cat:"rpc" ~host:(Host.id t.host)
+      ~args:
+        [ ("proc", Tev.Int proc_no);
+          ("members", Tev.Int (Troupe.size troupe));
+          ("multicast", Tev.Bool multicast);
+          ("seq", Tev.I64 call_seq) ]
+      "call";
   let merged = Mailbox.create t.engine in
   (* Members of a troupe may export the interface under different module
      numbers; group members whose call messages are identical so each
@@ -393,10 +453,17 @@ let interpret troupe_id = function
   | Rpc_msg.Stale_troupe -> raise (Stale_binding troupe_id)
   | Rpc_msg.No_such_module | Rpc_msg.No_such_procedure -> raise Bad_interface
 
+let trace_collate t ~total msg =
+  if Trace.on () then
+    Trace.emit ~cat:"rpc" ~host:(Host.id t.host)
+      ~args:[ ("kind", Tev.Str (return_kind msg)); ("total", Tev.Int total) ]
+      "collate"
+
 let call_troupe ctx troupe ~proc_no ?multicast ?(collator = Collator.unanimous) args =
   let t = ctx.rt in
   let total, replies = call_troupe_gen ctx troupe ~proc_no ?multicast args in
   let msg = collator ~total replies in
+  trace_collate t ~total msg;
   ignore (Syscall.gettimeofday t.env ~meter:(meter t) t.host);
   interpret troupe.Troupe.id msg
 
@@ -405,7 +472,7 @@ let call_module ctx maddr ~proc_no args =
 
 let call_troupe_watchdog ctx troupe ~proc_no ?multicast ~on_inconsistency args =
   let t = ctx.rt in
-  let _total, replies = call_troupe_gen ctx troupe ~proc_no ?multicast args in
+  let total, replies = call_troupe_gen ctx troupe ~proc_no ?multicast args in
   let first =
     (* take the first message; crashed members yield none *)
     let rec scan s =
@@ -428,8 +495,15 @@ let call_troupe_watchdog ctx troupe ~proc_no ?multicast ~on_inconsistency args =
                match r.Collator.message with Some msg -> msg <> first | None -> false)
              all
          in
-         if disagrees then on_inconsistency all));
+         if disagrees then begin
+           if Trace.on () then
+             Trace.emit ~cat:"rpc" ~host:(Host.id t.host)
+               ~args:[ ("proc", Tev.Int proc_no) ]
+               "disagreement";
+           on_inconsistency all
+         end));
   ignore (Syscall.gettimeofday t.env ~meter:(meter t) t.host);
+  trace_collate t ~total first;
   interpret troupe.Troupe.id first
 
 (* ------------------------------------------------------------------ *)

@@ -1,10 +1,17 @@
 open Circus_net
 module Codec = Circus_wire.Codec
+module Trace = Circus_trace.Trace
 
 type t = { id : Ids.Troupe_id.t; members : Addr.module_addr list }
 
 let make ~id ~members =
   if members = [] then invalid_arg "Troupe.make: empty member list";
+  if Trace.on () then
+    Trace.emit ~cat:"rpc"
+      ~args:
+        [ ("id", Circus_trace.Event.I64 id);
+          ("members", Circus_trace.Event.Int (List.length members)) ]
+      "troupe_make";
   { id; members }
 
 let singleton m = { id = Ids.Troupe_id.none; members = [ m ] }

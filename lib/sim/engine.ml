@@ -1,3 +1,5 @@
+module Trace = Circus_trace.Trace
+
 type event = {
   time : float;
   seq : int;
@@ -10,6 +12,7 @@ type handle = event
 type t = {
   mutable now : float;
   mutable seq : int;
+  mutable next_fiber : int;
   queue : event Heap.t;
   root_prng : Prng.t;
 }
@@ -19,10 +22,27 @@ let compare_events a b =
   if c <> 0 then c else Int.compare a.seq b.seq
 
 let create ?(seed = 42) () =
-  { now = 0.0; seq = 0; queue = Heap.create ~cmp:compare_events; root_prng = Prng.create seed }
+  { now = 0.0;
+    seq = 0;
+    next_fiber = 0;
+    queue = Heap.create ~cmp:compare_events;
+    root_prng = Prng.create seed }
 
 let now t = t.now
 let prng t = t.root_prng
+
+(* Fiber identifiers are allocated per engine, not per process, so two
+   simulations with equal seeds in one process still number their
+   fibers — and hence their traces — identically. *)
+let next_fiber_id t =
+  t.next_fiber <- t.next_fiber + 1;
+  t.next_fiber
+
+(* Install a global trace sink driven by this engine's clock.  The
+   clock closure is the only coupling: the recorder itself knows
+   nothing about the engine, and with no sink installed the per-event
+   overhead below is a single boolean load. *)
+let enable_tracing ?capacity t = Trace.start ?capacity ~clock:(fun () -> t.now) ()
 
 let schedule_abs t ~at f =
   let time = if at < t.now then t.now else at in
@@ -45,6 +65,7 @@ let rec step t =
     if ev.cancelled then step t
     else begin
       t.now <- ev.time;
+      if Trace.on () then Trace.incr "engine.events";
       ev.run ();
       true
     end

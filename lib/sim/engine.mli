@@ -20,6 +20,17 @@ val prng : t -> Prng.t
 (** The engine's root generator.  Components should [Prng.split] it
     rather than share it. *)
 
+val next_fiber_id : t -> int
+(** Allocate a fresh fiber identifier.  Used by {!Fiber.spawn}; ids are
+    per-engine rather than per-process so that equal-seed simulations
+    in one process produce identical traces. *)
+
+val enable_tracing : ?capacity:int -> t -> Circus_trace.Trace.sink
+(** Install a global {!Circus_trace.Trace} sink whose event timestamps
+    come from this engine's virtual clock.  Returns the sink for later
+    export.  With no sink installed, instrumentation throughout the
+    simulator costs one boolean load per site. *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at [now t +. delay].  Negative
     delays are clamped to 0. *)

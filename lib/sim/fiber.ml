@@ -1,3 +1,5 @@
+module Trace = Circus_trace.Trace
+
 exception Cancelled
 
 type 'a waker = ('a, exn) result -> unit
@@ -20,8 +22,6 @@ type _ Effect.t +=
   | Suspend : ('a waker -> unit) -> 'a Effect.t
   | Self : t Effect.t
 
-let next_id = ref 0
-
 let default_uncaught fiber e =
   Printf.eprintf "fiber %d (%s): uncaught exception\n%!" fiber.id fiber.label_;
   raise e
@@ -30,15 +30,15 @@ let uncaught_handler = ref default_uncaught
 let set_uncaught_handler f = uncaught_handler := f
 
 let finish fiber =
+  if Trace.on () then Trace.emit ~cat:"fiber" ~fiber:fiber.id "end";
   fiber.state <- Terminated;
   let callbacks = List.rev fiber.terminate_callbacks in
   fiber.terminate_callbacks <- [];
   List.iter (fun f -> f ()) callbacks
 
 let spawn engine ?(label = "fiber") f =
-  incr next_id;
   let fiber =
-    { id = !next_id;
+    { id = Engine.next_fiber_id engine;
       engine_ = engine;
       label_ = label;
       state = Running;
@@ -66,6 +66,11 @@ let spawn engine ?(label = "fiber") f =
                     ignore
                       (Engine.schedule engine ~delay:0.0 (fun () ->
                            fiber.state <- Running;
+                           if Trace.on () then
+                             Trace.emit ~cat:"fiber" ~fiber:fiber.id
+                               ~args:
+                                 [ ("ok", Circus_trace.Event.Bool (Result.is_ok r)) ]
+                               "resume";
                            match r with
                            | Ok v -> Effect.Deep.continue k v
                            | Error e -> Effect.Deep.discontinue k e))
@@ -73,12 +78,17 @@ let spawn engine ?(label = "fiber") f =
                 in
                 if fiber.cancel_requested then wake (Error Cancelled)
                 else begin
+                  if Trace.on () then Trace.emit ~cat:"fiber" ~fiber:fiber.id "block";
                   fiber.state <- Suspended (fun e -> wake (Error e));
                   register wake
                 end)
           | _ -> None)
     }
   in
+  if Trace.on () then
+    Trace.emit ~cat:"fiber" ~fiber:fiber.id
+      ~args:[ ("label", Circus_trace.Event.Str label) ]
+      "spawn";
   ignore
     (Engine.schedule engine ~delay:0.0 (fun () ->
          if fiber.cancel_requested then finish fiber

@@ -1,0 +1,141 @@
+(* Exporters.
+
+   Both renderings are deterministic functions of the event stream:
+   stable field order, stable float formatting, no wall-clock or
+   environment leakage.  CI relies on this — same seed, same bytes.
+
+   - [jsonl]: one JSON object per line per event; greppable, diffable,
+     and the form the byte-identical regression oracle compares.
+
+   - [chrome]: the Chrome [trace_event] JSON array format.  Open the
+     file in Perfetto (https://ui.perfetto.dev) or about://tracing;
+     hosts appear as processes and fibers as threads, spans nest, and
+     syscalls show as complete slices with their metered duration. *)
+
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_arg_value b = function
+  | Event.Int i -> Buffer.add_string b (string_of_int i)
+  | Event.I32 i -> Buffer.add_string b (Int32.to_string i)
+  | Event.I64 i -> Buffer.add_string b (Int64.to_string i)
+  | Event.Float f -> Buffer.add_string b (Event.float_repr f)
+  | Event.Str s -> add_json_string b s
+  | Event.Bool v -> Buffer.add_string b (if v then "true" else "false")
+
+let add_args b args =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      add_json_string b k;
+      Buffer.add_char b ':';
+      add_arg_value b v)
+    args;
+  Buffer.add_char b '}'
+
+(* ------------------------------------------------------------------ *)
+(* JSONL *)
+
+let add_jsonl_event b (e : Event.t) =
+  Buffer.add_string b (Printf.sprintf "{\"seq\":%d,\"t\":%s,\"ph\":" e.seq (Event.float_repr e.time));
+  add_json_string b (Event.phase_letter e.phase);
+  (match e.phase with
+  | Event.Complete dur -> Buffer.add_string b (Printf.sprintf ",\"dur\":%s" (Event.float_repr dur))
+  | Event.Instant | Event.Begin | Event.End -> ());
+  Buffer.add_string b ",\"cat\":";
+  add_json_string b e.cat;
+  Buffer.add_string b ",\"name\":";
+  add_json_string b e.name;
+  Buffer.add_string b (Printf.sprintf ",\"host\":%d,\"fiber\":%d" e.host e.fiber);
+  if e.args <> [] then begin
+    Buffer.add_string b ",\"args\":";
+    add_args b e.args
+  end;
+  Buffer.add_string b "}\n"
+
+let jsonl sink =
+  let b = Buffer.create 4096 in
+  List.iter (add_jsonl_event b) (Trace.sink_events sink);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event *)
+
+(* Microsecond timestamps, as the format requires. *)
+let micros t = Event.float_repr (t *. 1e6)
+
+let chrome_pid (e : Event.t) = if e.host >= 0 then e.host else 0
+let chrome_tid (e : Event.t) = if e.fiber >= 0 then e.fiber else 0
+
+let add_chrome_event b (e : Event.t) =
+  Buffer.add_string b "{\"name\":";
+  add_json_string b e.name;
+  Buffer.add_string b ",\"cat\":";
+  add_json_string b e.cat;
+  Buffer.add_string b ",\"ph\":";
+  add_json_string b (Event.phase_letter e.phase);
+  Buffer.add_string b (Printf.sprintf ",\"ts\":%s" (micros e.time));
+  (match e.phase with
+  | Event.Complete dur -> Buffer.add_string b (Printf.sprintf ",\"dur\":%s" (micros dur))
+  | Event.Instant -> Buffer.add_string b ",\"s\":\"t\""
+  | Event.Begin | Event.End -> ());
+  Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" (chrome_pid e) (chrome_tid e));
+  Buffer.add_string b ",\"args\":";
+  add_args b (("seq", Event.Int e.seq) :: e.args);
+  Buffer.add_char b '}'
+
+let chrome sink =
+  let events = Trace.sink_events sink in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  (* Process-name metadata so Perfetto labels hosts. *)
+  let hosts =
+    List.sort_uniq compare
+      (List.filter_map (fun (e : Event.t) -> if e.host >= 0 then Some e.host else None) events)
+  in
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_char b '\n'
+  in
+  List.iter
+    (fun h ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"host%d\"}}"
+           h h))
+    hosts;
+  List.iter
+    (fun e ->
+      sep ();
+      add_chrome_event b e)
+    events;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
+  Buffer.add_string b (string_of_int (Trace.sink_dropped sink));
+  Buffer.add_string b "}}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let jsonl_to_file sink path = write_file path (jsonl sink)
+let chrome_to_file sink path = write_file path (chrome sink)

@@ -1,0 +1,12 @@
+(** Deterministic trace exporters: same seed, same bytes. *)
+
+val jsonl : Trace.sink -> string
+(** One JSON object per line per event, oldest first. *)
+
+val chrome : Trace.sink -> string
+(** Chrome [trace_event] JSON, loadable in Perfetto
+    ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or about://tracing.
+    Hosts map to processes, fibers to threads. *)
+
+val jsonl_to_file : Trace.sink -> string -> unit
+val chrome_to_file : Trace.sink -> string -> unit

@@ -1,0 +1,114 @@
+(* A per-run metrics registry: named monotonic counters and fixed-
+   bucket histograms.
+
+   Everything here is deterministic: registration order does not matter
+   because exports sort by name, and histogram buckets are a fixed
+   power-of-two ladder so two runs that observe the same values render
+   the same snapshot. *)
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  buckets : int array;  (* bucket i counts values <= bounds.(i) *)
+}
+
+(* Bucket upper bounds in seconds: 1 us .. ~8 s, doubling. *)
+let bucket_bounds =
+  Array.init 24 (fun i -> 1e-6 *. Float.of_int (1 lsl i))
+
+let bucket_index v =
+  let n = Array.length bucket_bounds in
+  let rec go i = if i >= n - 1 || v <= bucket_bounds.(i) then i else go (i + 1) in
+  go 0
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; histograms = Hashtbl.create 16 }
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.histograms
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+      let h =
+        { h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+          buckets = Array.make (Array.length bucket_bounds) 0 }
+      in
+      Hashtbl.add t.histograms name h;
+      h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+}
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | None -> None
+  | Some h ->
+    Some
+      { count = h.h_count;
+        sum = h.h_sum;
+        min = h.h_min;
+        max = h.h_max;
+        mean = (if h.h_count = 0 then nan else h.h_sum /. Float.of_int h.h_count) }
+
+let sorted_bindings table =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.counters)
+
+let histograms t =
+  List.map
+    (fun (k, _) -> (k, Option.get (histogram t k)))
+    (sorted_bindings t.histograms)
+
+(* Deterministic JSON snapshot of the whole registry. *)
+let to_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%S:%d" name v))
+    (counters t);
+  Buffer.add_string b "},\"histograms\":{";
+  List.iteri
+    (fun i (name, h) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "%S:{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}" name h.count
+           (Event.float_repr h.sum) (Event.float_repr h.min) (Event.float_repr h.max)))
+    (histograms t);
+  Buffer.add_string b "}}";
+  Buffer.contents b

@@ -1,0 +1,30 @@
+(** Per-run metrics registry: named counters and histograms.
+
+    Export order is sorted by name, so snapshots are deterministic
+    regardless of registration order. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val incr : ?by:int -> t -> string -> unit
+val counter : t -> string -> int
+(** 0 for a name never incremented. *)
+
+val observe : t -> string -> float -> unit
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+}
+
+val histogram : t -> string -> histogram_snapshot option
+val counters : t -> (string * int) list
+val histograms : t -> (string * histogram_snapshot) list
+
+val to_json : t -> string
+(** One-line deterministic JSON object. *)

@@ -1,0 +1,189 @@
+(* The structured event recorder.
+
+   Design constraints, in order:
+
+   1.  Zero allocation when disabled.  Instrumentation sites throughout
+       the simulator guard every emission with [if Trace.on () then
+       ...]; the argument lists, strings, and event records are only
+       built when a sink is installed.  With tracing off the hot path
+       pays one load of a mutable bool.
+
+   2.  Determinism.  Events carry the simulated clock and a global
+       emission sequence number.  Because the engine is deterministic,
+       two runs with equal seeds emit identical streams, which the test
+       suite and CI enforce byte-for-byte on the exported form.
+
+   3.  Bounded memory.  Events land in a fixed-capacity ring
+       (overwrite-oldest); the count of overwritten events is kept so a
+       truncated trace is detectable. *)
+
+type sink = {
+  ring : Event.t Ring.t;
+  metrics : Metrics.t;
+  clock : unit -> float;
+  mutable seq : int;
+}
+
+let current : sink option ref = ref None
+let enabled = ref false
+
+let[@inline] on () = !enabled
+
+let default_capacity = 65_536
+
+let make_sink ?(capacity = default_capacity) ~clock () =
+  { ring = Ring.create ~capacity; metrics = Metrics.create (); clock; seq = 0 }
+
+let install sink =
+  current := Some sink;
+  enabled := true;
+  sink
+
+let start ?capacity ~clock () = install (make_sink ?capacity ~clock ())
+
+let stop () =
+  enabled := false;
+  current := None
+
+let active () = !current
+
+let with_sink f = match !current with Some s when !enabled -> f s | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Emission *)
+
+let emit ?(phase = Event.Instant) ?(host = -1) ?(fiber = -1) ?(args = []) ~cat name =
+  with_sink (fun s ->
+      let seq = s.seq in
+      s.seq <- seq + 1;
+      Ring.push s.ring
+        (Event.make ~seq ~time:(s.clock ()) ~cat ~name ~phase ~host ~fiber ~args))
+
+let span_begin ?host ?fiber ?args ~cat name = emit ~phase:Event.Begin ?host ?fiber ?args ~cat name
+let span_end ?host ?fiber ?args ~cat name = emit ~phase:Event.End ?host ?fiber ?args ~cat name
+
+let span ?host ?fiber ?args ~cat name f =
+  if not (on ()) then f ()
+  else begin
+    span_begin ?host ?fiber ?args ~cat name;
+    match f () with
+    | v ->
+      span_end ?host ?fiber ~cat name;
+      v
+    | exception e ->
+      span_end ?host ?fiber ~args:[ ("raised", Event.Bool true) ] ~cat name;
+      raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let incr ?by name = with_sink (fun s -> Metrics.incr ?by s.metrics name)
+let observe name v = with_sink (fun s -> Metrics.observe s.metrics name v)
+let metrics () = match !current with Some s -> Some s.metrics | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Inspection *)
+
+let sink_events s = Ring.to_list s.ring
+let sink_metrics s = s.metrics
+let sink_dropped s = Ring.dropped s.ring
+let sink_clear s =
+  Ring.clear s.ring;
+  Metrics.reset s.metrics;
+  s.seq <- 0
+
+let events () = match !current with Some s -> sink_events s | None -> []
+let dropped () = match !current with Some s -> sink_dropped s | None -> 0
+let clear () = match !current with Some s -> sink_clear s | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace-based assertions: protocol-level properties over the recorded
+   stream, so tests can check what the protocols *did*, not just the
+   end state. *)
+
+module Expect = struct
+  exception Failed of string
+
+  let fail fmt = Printf.ksprintf (fun msg -> raise (Failed msg)) fmt
+
+  let matches ?cat ?name ?where e =
+    (match cat with Some c -> String.equal e.Event.cat c | None -> true)
+    && (match name with Some n -> String.equal e.Event.name n | None -> true)
+    && match where with Some p -> p e | None -> true
+
+  let selection ?cat ?name ?where () =
+    List.filter (fun e -> matches ?cat ?name ?where e) (events ())
+
+  let describe ?cat ?name () =
+    Printf.sprintf "%s/%s"
+      (Option.value cat ~default:"*")
+      (Option.value name ~default:"*")
+
+  let count ?cat ?name ?where expected =
+    let n = List.length (selection ?cat ?name ?where ()) in
+    if n <> expected then
+      fail "expected exactly %d %s events, saw %d" expected (describe ?cat ?name ()) n
+
+  let at_least ?cat ?name ?where expected =
+    let n = List.length (selection ?cat ?name ?where ()) in
+    if n < expected then
+      fail "expected at least %d %s events, saw %d" expected (describe ?cat ?name ()) n
+
+  let none ?cat ?name ?where () =
+    match selection ?cat ?name ?where () with
+    | [] -> ()
+    | e :: _ ->
+      fail "expected no %s events, saw %s" (describe ?cat ?name ())
+        (Format.asprintf "%a" Event.pp e)
+
+  (* Every event matching [after] must be preceded (in emission order)
+     by at least one event matching [before]. *)
+  let ordered ~before ~after () =
+    let seen_before = ref false in
+    List.iter
+      (fun e ->
+        if before e then seen_before := true;
+        if after e && not !seen_before then
+          fail "event %s occurred before any enabling event"
+            (Format.asprintf "%a" Event.pp e))
+      (events ())
+
+  (* Begin/End events must balance per (host, fiber) scope and match by
+     name in LIFO order — the invariant the Chrome exporter relies on. *)
+  let well_nested () =
+    let stacks : (int * int, (string * string) list ref) Hashtbl.t = Hashtbl.create 16 in
+    let stack key =
+      match Hashtbl.find_opt stacks key with
+      | Some s -> s
+      | None ->
+        let s = ref [] in
+        Hashtbl.add stacks key s;
+        s
+    in
+    List.iter
+      (fun e ->
+        let key = (e.Event.host, e.Event.fiber) in
+        match e.Event.phase with
+        | Event.Begin -> (stack key) := (e.Event.cat, e.Event.name) :: !(stack key)
+        | Event.End -> (
+          let s = stack key in
+          match !s with
+          | (cat, name) :: rest when String.equal cat e.Event.cat && String.equal name e.Event.name
+            ->
+            s := rest
+          | (cat, name) :: _ ->
+            fail "span end %s/%s closes open span %s/%s (scope h%d f%d)" e.Event.cat e.Event.name
+              cat name e.Event.host e.Event.fiber
+          | [] ->
+            fail "span end %s/%s with no open span (scope h%d f%d)" e.Event.cat e.Event.name
+              e.Event.host e.Event.fiber)
+        | Event.Instant | Event.Complete _ -> ())
+      (events ());
+    Hashtbl.iter
+      (fun (host, fiber) s ->
+        match !s with
+        | [] -> ()
+        | (cat, name) :: _ -> fail "span %s/%s never closed (scope h%d f%d)" cat name host fiber)
+      stacks
+end

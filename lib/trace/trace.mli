@@ -1,0 +1,98 @@
+(** The structured event recorder.
+
+    A process-global sink receives typed events ({!Event.t}) into a
+    fixed-capacity ring buffer and aggregates counters/histograms into a
+    {!Metrics.t} registry.  When no sink is installed the recorder costs
+    one boolean load: instrumentation sites must guard emission with
+    [if Trace.on () then Trace.emit ...] so argument lists are never
+    allocated for a disabled trace.
+
+    Because the simulation engine is deterministic, two runs with equal
+    seeds produce identical event streams — the exporters in {!Export}
+    render them byte-identically, which CI uses as a regression
+    oracle. *)
+
+type sink
+
+val on : unit -> bool
+(** True iff a sink is installed and recording. *)
+
+val start : ?capacity:int -> clock:(unit -> float) -> unit -> sink
+(** Install a fresh global sink.  [clock] supplies event timestamps —
+    pass the simulation clock, never wall time.  [capacity] is the ring
+    size in events (default 65536); on overflow the oldest events are
+    overwritten and counted in {!dropped}. *)
+
+val stop : unit -> unit
+val active : unit -> sink option
+
+(** {1 Emission} *)
+
+val emit :
+  ?phase:Event.phase ->
+  ?host:int ->
+  ?fiber:int ->
+  ?args:(string * Event.arg) list ->
+  cat:string ->
+  string ->
+  unit
+(** Record one event.  No-op when disabled, but callers on hot paths
+    should still guard with {!on} to avoid building [args]. *)
+
+val span_begin :
+  ?host:int -> ?fiber:int -> ?args:(string * Event.arg) list -> cat:string -> string -> unit
+
+val span_end :
+  ?host:int -> ?fiber:int -> ?args:(string * Event.arg) list -> cat:string -> string -> unit
+
+val span :
+  ?host:int ->
+  ?fiber:int ->
+  ?args:(string * Event.arg) list ->
+  cat:string ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [span ~cat name f] brackets [f ()] with Begin/End events (marking
+    the End with [raised=true] if [f] raises).  Runs [f] directly when
+    tracing is off. *)
+
+(** {1 Metrics} *)
+
+val incr : ?by:int -> string -> unit
+val observe : string -> float -> unit
+val metrics : unit -> Metrics.t option
+
+(** {1 Inspection} *)
+
+val events : unit -> Event.t list
+(** Recorded events, oldest first; [[]] when no sink is installed. *)
+
+val dropped : unit -> int
+val clear : unit -> unit
+
+val sink_events : sink -> Event.t list
+val sink_metrics : sink -> Metrics.t
+val sink_dropped : sink -> int
+val sink_clear : sink -> unit
+
+(** {1 Trace-based assertions}
+
+    Protocol-level checks over the recorded stream, for tests that want
+    to assert what the protocols did ("exactly one commit per troupe
+    member", "no delivery after the partition") rather than only the
+    end state. *)
+
+module Expect : sig
+  exception Failed of string
+
+  val count : ?cat:string -> ?name:string -> ?where:(Event.t -> bool) -> int -> unit
+  val at_least : ?cat:string -> ?name:string -> ?where:(Event.t -> bool) -> int -> unit
+  val none : ?cat:string -> ?name:string -> ?where:(Event.t -> bool) -> unit -> unit
+
+  val ordered : before:(Event.t -> bool) -> after:(Event.t -> bool) -> unit -> unit
+  (** Every [after] event must be preceded by some [before] event. *)
+
+  val well_nested : unit -> unit
+  (** Begin/End events balance per (host, fiber) scope. *)
+end

@@ -1,6 +1,8 @@
 open Circus_sim
 open Circus_rpc
 module Codec = Circus_wire.Codec
+module Trace = Circus_trace.Trace
+module Tev = Circus_trace.Event
 
 let bool_codec = Codec.bool
 
@@ -11,6 +13,14 @@ let export_coordinator rt ?timeout () =
          member is deadlocked or crashed, so the transaction aborts. *)
       let decoded = List.map (Codec.decode bool_codec) votes in
       let verdict = List.length decoded = expected && List.for_all Fun.id decoded in
+      if Trace.on () then
+        Trace.emit ~cat:"txn"
+          ~host:(Circus_net.Host.id (Runtime.host rt))
+          ~args:
+            [ ("expected", Tev.Int expected);
+              ("votes", Tev.Int (List.length decoded));
+              ("verdict", Tev.Bool verdict) ]
+          "coordinate";
       Codec.encode bool_codec verdict)
 
 let ready_to_commit ctx ~coordinator ready =
@@ -19,14 +29,22 @@ let ready_to_commit ctx ~coordinator ready =
 
 type outcome = Committed | Aborted of string
 
+let trace_txn ctx name args =
+  if Trace.on () then
+    Trace.emit ~cat:"txn"
+      ~host:(Circus_net.Host.id (Runtime.host (Runtime.runtime ctx)))
+      ~args name
+
 let attempt ctx ~store ~coordinator body =
   let txn = Lightweight.begin_txn store in
+  trace_txn ctx "begin" [ ("txn", Tev.Int (Lightweight.txn_id txn)) ];
   let vote, result =
     match body txn with
     | result -> (true, Some result)
     | exception Lightweight.Deadlock -> (false, None)
     | exception _ -> (false, None)
   in
+  trace_txn ctx "vote" [ ("txn", Tev.Int (Lightweight.txn_id txn)); ("ready", Tev.Bool vote) ];
   let verdict =
     match ready_to_commit ctx ~coordinator vote with
     | v -> v
@@ -36,11 +54,15 @@ let attempt ctx ~store ~coordinator body =
   in
   if verdict && vote then begin
     Lightweight.commit store txn;
+    trace_txn ctx "commit" [ ("txn", Tev.Int (Lightweight.txn_id txn)) ];
     match result with Some r -> (Committed, Some r) | None -> assert false
   end
   else begin
     Lightweight.abort store txn;
-    ((Aborted (if vote then "coordinator refused" else "local deadlock")), None)
+    let reason = if vote then "coordinator refused" else "local deadlock" in
+    trace_txn ctx "abort"
+      [ ("txn", Tev.Int (Lightweight.txn_id txn)); ("reason", Tev.Str reason) ];
+    (Aborted reason, None)
   end
 
 let run ctx ~store ~coordinator ?backoff ?(max_attempts = 8) body =
@@ -58,6 +80,7 @@ let run ctx ~store ~coordinator ?backoff ?(max_attempts = 8) body =
       if attempt_no >= max_attempts then
         raise (Runtime.Remote_error (Printf.sprintf "transaction failed after %d attempts: %s" attempt_no reason))
       else begin
+        if Trace.on () then Trace.incr "txn.retries";
         Fiber.sleep (Backoff.next_delay backoff);
         loop (attempt_no + 1)
       end

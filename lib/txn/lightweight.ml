@@ -1,3 +1,6 @@
+module Trace = Circus_trace.Trace
+module Tev = Circus_trace.Event
+
 exception Deadlock
 exception Txn_aborted
 
@@ -29,8 +32,22 @@ let check txn = if not txn.active then raise Txn_aborted
 
 let lock t txn key mode =
   match Lock_manager.acquire t.lm ~txn:txn.id ~key mode with
-  | `Granted -> ()
-  | `Deadlock -> raise Deadlock
+  | `Granted ->
+    if Trace.on () then
+      Trace.emit ~cat:"txn"
+        ~args:
+          [ ("txn", Tev.Int txn.id);
+            ("key", Tev.Str key);
+            ("mode", Tev.Str (match mode with Lock_manager.Read -> "read" | Write -> "write")) ]
+        "lock"
+  | `Deadlock ->
+    if Trace.on () then begin
+      Trace.incr "txn.deadlocks";
+      Trace.emit ~cat:"txn"
+        ~args:[ ("txn", Tev.Int txn.id); ("key", Tev.Str key) ]
+        "deadlock"
+    end;
+    raise Deadlock
 
 let get t txn key =
   check txn;

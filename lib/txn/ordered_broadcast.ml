@@ -2,6 +2,8 @@ open Circus_sim
 open Circus_net
 open Circus_rpc
 module Codec = Circus_wire.Codec
+module Trace = Circus_trace.Trace
+module Tev = Circus_trace.Event
 
 type status = Proposed | Accepted
 
@@ -36,6 +38,10 @@ let rec drain t =
     if time <= Host.gettimeofday t.host then begin
       t.queue <- rest;
       t.delivered <- t.delivered + 1;
+      if Trace.on () then
+        Trace.emit ~cat:"obcast" ~host:(Host.id t.host)
+          ~args:[ ("msg_id", Tev.I64 head.msg_id); ("n", Tev.Int t.delivered) ]
+          "deliver";
       t.deliver head.body;
       drain t
     end
@@ -54,10 +60,18 @@ let get_proposed_time t (msg_id, body) =
   let now = Host.gettimeofday t.host in
   let time = if now > t.last_proposed then now else t.last_proposed +. 1e-9 in
   t.last_proposed <- time;
+  if Trace.on () then
+    Trace.emit ~cat:"obcast" ~host:(Host.id t.host)
+      ~args:[ ("msg_id", Tev.I64 msg_id); ("time", Tev.Float time) ]
+      "propose";
   insert t { msg_id; body; time; status = Proposed };
   time
 
 let accept_time t (msg_id, accepted_time) =
+  if Trace.on () then
+    Trace.emit ~cat:"obcast" ~host:(Host.id t.host)
+      ~args:[ ("msg_id", Tev.I64 msg_id); ("time", Tev.Float accepted_time) ]
+      "accept";
   (match List.find_opt (fun e -> Int64.equal e.msg_id msg_id) t.queue with
   | Some entry ->
     t.queue <- List.filter (fun e -> not (Int64.equal e.msg_id msg_id)) t.queue;
@@ -85,6 +99,11 @@ let queue_length t = List.length t.queue
 let atomic_broadcast ctx troupe body =
   (* A deterministic, replica-agreed message identifier. *)
   let msg_id = Runtime.next_call_seq ctx in
+  if Trace.on () then
+    Trace.emit ~cat:"obcast"
+      ~host:(Host.id (Runtime.host (Runtime.runtime ctx)))
+      ~args:[ ("msg_id", Tev.I64 msg_id); ("members", Tev.Int (Troupe.size troupe)) ]
+      "broadcast";
   let payload = Codec.encode proposal_codec (msg_id, body) in
   let _total, proposals = Runtime.call_troupe_gen ctx troupe ~proc_no:0 payload in
   let max_time =
