@@ -14,6 +14,7 @@
 
 open Bechamel
 open Toolkit
+open Circus_workloads
 
 let line = String.make 78 '-'
 
@@ -21,17 +22,8 @@ let section title =
   Printf.printf "\n%s\n%s\n%s\n" line title line
 
 (* ------------------------------------------------------------------ *)
-(* Table 4.1 *)
-
-(* The published measurements (milliseconds per call). *)
-let paper_4_1 =
-  [ ("(UDP)", 26.5, 13.3, 0.8, 12.4);
-    ("(TCP)", 23.2, 8.3, 0.5, 7.8);
-    ("1", 48.0, 24.1, 5.9, 18.2);
-    ("2", 58.0, 45.2, 10.0, 35.2);
-    ("3", 69.4, 66.8, 13.0, 53.8);
-    ("4", 90.2, 87.2, 16.8, 70.4);
-    ("5", 109.5, 107.2, 21.0, 86.1) ]
+(* Table 4.1 — published numbers and JSON export live in Table_json,
+   shared with the golden determinism test. *)
 
 let print_table_4_1 rows =
   section "Table 4.1 — Performance of UDP, TCP, and Circus (ms per call)";
@@ -42,8 +34,8 @@ let print_table_4_1 rows =
   List.iter
     (fun (row : Workloads.cpu_row) ->
       let paper_real, paper_total, paper_user, paper_kernel =
-        match List.find_opt (fun (l, _, _, _, _) -> l = row.Workloads.label) paper_4_1 with
-        | Some (_, r, t, u, k) -> (r, t, u, k)
+        match Table_json.paper_4_1_row row.Workloads.label with
+        | Some (r, t, u, k) -> (r, t, u, k)
         | None -> (nan, nan, nan, nan)
       in
       Printf.printf "%-12s | %8.1f  %8.1f | %8.1f  %8.1f | %8.1f  %8.1f | %8.1f  %8.1f\n"
@@ -86,9 +78,6 @@ let print_table_4_3 (circus_rows : Workloads.cpu_row list) =
     "six calls%" "top syscalls (% of total cpu)";
   List.iteri
     (fun i (row : Workloads.cpu_row) ->
-      let total = row.Workloads.total_cpu_ms /. 1000.0 in
-      let pct t = 100.0 *. t /. (total *. float_of_int 60) in
-      ignore pct;
       let full = row.Workloads.total_cpu_ms in
       let shares =
         List.map
@@ -96,8 +85,14 @@ let print_table_4_3 (circus_rows : Workloads.cpu_row list) =
             (name, 100.0 *. (1000.0 *. seconds) /. (full *. 60.0)))
           row.Workloads.profile
       in
-      (* profile accumulates over 60 measured iterations *)
-      let share name = match List.assoc_opt name shares with Some v -> v | None -> 0.0 in
+      (* profile accumulates over 60 measured iterations; hoist the
+         per-syscall shares into one table rather than a List.assoc
+         scan per lookup below *)
+      let share_tbl = Hashtbl.create 16 in
+      List.iter (fun (name, v) -> Hashtbl.replace share_tbl name v) shares;
+      let share name =
+        match Hashtbl.find_opt share_tbl name with Some v -> v | None -> 0.0
+      in
       let six =
         List.fold_left
           (fun acc name -> acc +. share name)
@@ -288,44 +283,20 @@ let run_bechamel () =
 (* ------------------------------------------------------------------ *)
 (* Smoke mode: Table 4.1 with reduced iteration counts, exported as
    JSON for the CI artifact.  Deterministic — the simulation is seeded
-   — so two runs of the same build produce byte-identical files. *)
-
-let fr = Circus_trace.Event.float_repr
-
-let json_of_rows (rows : Workloads.cpu_row list) =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf
-    "{\"table\":\"4.1\",\"unit\":\"ms_per_call\",\"mode\":\"smoke\",\"rows\":[";
-  List.iteri
-    (fun i (row : Workloads.cpu_row) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf
-        (Printf.sprintf
-           "\n{\"label\":\"%s\",\"real_ms\":%s,\"total_cpu_ms\":%s,\"user_cpu_ms\":%s,\"kernel_cpu_ms\":%s"
-           row.Workloads.label (fr row.Workloads.real_ms)
-           (fr row.Workloads.total_cpu_ms) (fr row.Workloads.user_cpu_ms)
-           (fr row.Workloads.kernel_cpu_ms));
-      (match List.find_opt (fun (l, _, _, _, _) -> l = row.Workloads.label) paper_4_1 with
-      | Some (_, r, t, u, k) ->
-        Buffer.add_string buf
-          (Printf.sprintf
-             ",\"paper\":{\"real_ms\":%s,\"total_cpu_ms\":%s,\"user_cpu_ms\":%s,\"kernel_cpu_ms\":%s}"
-             (fr r) (fr t) (fr u) (fr k))
-      | None -> ());
-      Buffer.add_char buf '}')
-    rows;
-  Buffer.add_string buf "\n]}\n";
-  Buffer.contents buf
+   — so two runs of the same build produce byte-identical files; the
+   exact bytes are also pinned by test/fixtures/table_4_1_smoke.json
+   (the golden determinism test).  JSON generation lives in
+   Table_json, shared with that test. *)
 
 let run_smoke ~json_path =
   print_endline "Circus benchmark smoke pass (reduced iterations; Table 4.1 only).";
-  let all_rows, _ = Workloads.table_4_1 ~iterations:10 () in
+  let all_rows, json = Table_json.smoke_json () in
   print_table_4_1 all_rows;
   match json_path with
   | None -> ()
   | Some path ->
     let oc = open_out_bin path in
-    output_string oc (json_of_rows all_rows);
+    output_string oc json;
     close_out oc;
     Printf.printf "\nwrote %s\n" path
 

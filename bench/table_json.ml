@@ -1,0 +1,57 @@
+(* Table 4.1 published numbers and the smoke-mode JSON export.
+
+   This lives in the [circus_workloads] library (not in main.ml) so
+   that the golden determinism test in test/ can regenerate the exact
+   bytes that [bench/main.exe --smoke --json] writes and compare them
+   against a committed fixture.  Any change to the simulated
+   performance model — intended or not — shows up as a byte diff. *)
+
+(* The published measurements (milliseconds per call). *)
+let paper_4_1 =
+  [ ("(UDP)", 26.5, 13.3, 0.8, 12.4);
+    ("(TCP)", 23.2, 8.3, 0.5, 7.8);
+    ("1", 48.0, 24.1, 5.9, 18.2);
+    ("2", 58.0, 45.2, 10.0, 35.2);
+    ("3", 69.4, 66.8, 13.0, 53.8);
+    ("4", 90.2, 87.2, 16.8, 70.4);
+    ("5", 109.5, 107.2, 21.0, 86.1) ]
+
+(* Single lookup point for a row's published numbers, shared by the
+   table printer and the JSON export. *)
+let paper_4_1_row label =
+  match List.find_opt (fun (l, _, _, _, _) -> l = label) paper_4_1 with
+  | Some (_, r, t, u, k) -> Some (r, t, u, k)
+  | None -> None
+
+let fr = Circus_trace.Event.float_repr
+
+let json_of_rows (rows : Workloads.cpu_row list) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\"table\":\"4.1\",\"unit\":\"ms_per_call\",\"mode\":\"smoke\",\"rows\":[";
+  List.iteri
+    (fun i (row : Workloads.cpu_row) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n{\"label\":\"%s\",\"real_ms\":%s,\"total_cpu_ms\":%s,\"user_cpu_ms\":%s,\"kernel_cpu_ms\":%s"
+           row.Workloads.label (fr row.Workloads.real_ms)
+           (fr row.Workloads.total_cpu_ms) (fr row.Workloads.user_cpu_ms)
+           (fr row.Workloads.kernel_cpu_ms));
+      (match paper_4_1_row row.Workloads.label with
+      | Some (r, t, u, k) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             ",\"paper\":{\"real_ms\":%s,\"total_cpu_ms\":%s,\"user_cpu_ms\":%s,\"kernel_cpu_ms\":%s}"
+             (fr r) (fr t) (fr u) (fr k))
+      | None -> ());
+      Buffer.add_char buf '}')
+    rows;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let smoke_iterations = 10
+
+let smoke_json () =
+  let all_rows, _ = Workloads.table_4_1 ~iterations:smoke_iterations () in
+  (all_rows, json_of_rows all_rows)

@@ -1,0 +1,303 @@
+(* Wall-clock throughput benchmarks for the simulator's hot paths.
+
+   Unlike bench/main.exe — which regenerates the paper's *simulated*
+   numbers (virtual milliseconds per call, a model that must never
+   move) — this harness measures how fast the simulator itself runs:
+   real events per wall-clock second.  That figure bounds how far the
+   experiments can scale (bigger troupes, longer horizons, qcheck
+   sweeps), so it is tracked as a first-class artifact.
+
+   Usage:
+     dune exec bench/throughput.exe -- [--quick] [--json PATH]
+                                       [--baseline PATH] [--max-regress PCT]
+
+   --json PATH       write results as BENCH_throughput-style JSON
+   --baseline PATH   compare against a previous JSON file; print the
+                     speedup/regression per bench
+   --max-regress PCT with --baseline, exit non-zero if any bench's
+                     rate fell more than PCT percent (default 30) —
+                     the CI regression gate
+   --quick           ~10x smaller workloads (for smoke checks)
+
+   Each bench runs three times and reports the best rate, which is the
+   standard way to suppress scheduler/GC noise on shared runners. *)
+
+open Circus_sim
+open Circus_workloads
+
+let now_s () = Unix.gettimeofday ()
+
+type result = { name : string; ops : int; wall_s : float }
+
+let rate r = float_of_int r.ops /. r.wall_s
+
+(* Run [f] three times, keep the fastest. *)
+let best ~name ~ops f =
+  let wall = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = now_s () in
+    f ();
+    let t = now_s () -. t0 in
+    if t < !wall then wall := t
+  done;
+  (* Guard against a clock granularity of 0 on very small workloads. *)
+  { name; ops; wall_s = Float.max !wall 1e-9 }
+
+(* ------------------------------------------------------------------ *)
+(* Engine: zero-delay events (the fiber wake / yield / mailbox path). *)
+
+let bench_engine_wakes ~events =
+  best ~name:"engine_wakes" ~ops:events (fun () ->
+      let engine = Engine.create () in
+      let remaining = ref events in
+      let rec tick () =
+        if !remaining > 0 then begin
+          decr remaining;
+          ignore (Engine.schedule engine ~delay:0.0 tick)
+        end
+      in
+      for _ = 1 to 64 do
+        ignore (Engine.schedule engine ~delay:0.0 tick)
+      done;
+      Engine.run engine)
+
+(* Engine: positive pseudo-random delays (the pure timer-heap path). *)
+
+let bench_engine_timers ~events =
+  best ~name:"engine_timers" ~ops:events (fun () ->
+      let engine = Engine.create () in
+      let prng = Prng.create 7 in
+      let remaining = ref events in
+      let rec tick () =
+        if !remaining > 0 then begin
+          decr remaining;
+          let delay = 1e-6 +. (1e-3 *. Prng.float prng) in
+          ignore (Engine.schedule engine ~delay tick)
+        end
+      in
+      for _ = 1 to 256 do
+        ignore (Engine.schedule engine ~delay:(Prng.float prng) tick)
+      done;
+      Engine.run engine)
+
+(* Engine: schedule-then-cancel churn (timeout-guard pattern: most
+   timers are armed and then cancelled before they fire). *)
+
+let bench_engine_cancels ~events =
+  best ~name:"engine_cancels" ~ops:events (fun () ->
+      let engine = Engine.create () in
+      let remaining = ref events in
+      let rec tick () =
+        if !remaining > 0 then begin
+          decr remaining;
+          (* Arm a far-future "timeout", immediately cancel it, and
+             continue: the cancelled event must not accumulate. *)
+          let guard = Engine.schedule engine ~delay:1000.0 (fun () -> ()) in
+          Engine.cancel guard;
+          ignore (Engine.schedule engine ~delay:0.0 tick)
+        end
+      in
+      for _ = 1 to 16 do
+        ignore (Engine.schedule engine ~delay:0.0 tick)
+      done;
+      Engine.run engine)
+
+(* Fibers: spawn + wake (sleep 0) throughput. *)
+
+let bench_fiber_spawn_wake ~fibers ~yields =
+  best ~name:"fiber_spawn_wake" ~ops:(fibers * (yields + 1)) (fun () ->
+      let engine = Engine.create () in
+      for _ = 1 to fibers do
+        ignore
+          (Fiber.spawn engine (fun () ->
+               for _ = 1 to yields do
+                 Fiber.yield ()
+               done))
+      done;
+      Engine.run engine)
+
+(* Mailbox: blocking send/recv ping-pong between two fibers. *)
+
+let bench_mailbox ~messages =
+  best ~name:"mailbox_ops" ~ops:(2 * messages) (fun () ->
+      let engine = Engine.create () in
+      let a : int Mailbox.t = Mailbox.create engine in
+      let b : int Mailbox.t = Mailbox.create engine in
+      ignore
+        (Fiber.spawn engine (fun () ->
+             for i = 1 to messages do
+               Mailbox.send a i;
+               ignore (Mailbox.recv b)
+             done));
+      ignore
+        (Fiber.spawn engine (fun () ->
+             for _ = 1 to messages do
+               (match Mailbox.recv a with
+               | Some v -> Mailbox.send b v
+               | None -> assert false)
+             done));
+      Engine.run engine)
+
+(* Mailbox: recv-with-timeout that always times out (the waiter-leak
+   path: every iteration parks a waiter that must be reclaimed). *)
+
+let bench_mailbox_timeouts ~timeouts =
+  best ~name:"mailbox_timeouts" ~ops:timeouts (fun () ->
+      let engine = Engine.create () in
+      let mb : int Mailbox.t = Mailbox.create engine in
+      ignore
+        (Fiber.spawn engine (fun () ->
+             for _ = 1 to timeouts do
+               ignore (Mailbox.recv ~timeout:1e-6 mb)
+             done));
+      Engine.run engine)
+
+(* Wire: datagram-style encode (segment header + payload) per op. *)
+
+let bench_wire_encode ~encodes =
+  let payload = Bytes.create 64 in
+  best ~name:"wire_encode" ~ops:encodes (fun () ->
+      for i = 1 to encodes do
+        let seg =
+          Circus_pairmsg.Segment.data_segment ~msg_type:Circus_pairmsg.Segment.Call
+            ~total:1 ~seg_no:1 ~call_no:(Int32.of_int i) payload
+        in
+        ignore (Circus_pairmsg.Segment.encode seg)
+      done)
+
+(* Full stack: replicated procedure calls per wall-clock second at
+   troupe sizes 1..5 (the Table 4.1 workload, reduced iterations). *)
+
+let bench_rpc ~iterations ~n =
+  best
+    ~name:(Printf.sprintf "rpc_calls_n%d" n)
+    ~ops:iterations
+    (fun () -> ignore (Workloads.circus_row ~iterations ~n ()))
+
+(* ------------------------------------------------------------------ *)
+(* JSON out / baseline in *)
+
+let json_of_results results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"schema\":\"circus-bench-throughput/1\",\"benches\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n{\"name\":\"%s\",\"ops\":%d,\"wall_s\":%.6f,\"rate\":%.1f}"
+           r.name r.ops r.wall_s (rate r)))
+    results;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* Minimal extraction of {"name":...,"rate":...} pairs from a previous
+   run's JSON; avoids a JSON-library dependency.  The format is ours
+   and machine-written, so a scan is sufficient. *)
+let parse_baseline text =
+  let find_from sub pos =
+    let n = String.length text and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub text i m = sub then Some (i + m)
+      else go (i + 1)
+    in
+    go pos
+  in
+  let until_char c pos =
+    let stop = try String.index_from text pos c with Not_found -> String.length text in
+    (String.sub text pos (stop - pos), stop)
+  in
+  let rec collect pos acc =
+    match find_from "{\"name\":\"" pos with
+    | None -> List.rev acc
+    | Some p -> (
+      let name, p = until_char '"' p in
+      match find_from "\"rate\":" p with
+      | None -> List.rev acc
+      | Some p ->
+        let num, p = until_char '}' p in
+        let acc =
+          match float_of_string_opt (String.trim num) with
+          | Some r -> (name, r) :: acc
+          | None -> acc
+        in
+        collect p acc)
+  in
+  collect 0 []
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+
+let flag_value name argv =
+  let rec scan = function
+    | flag :: value :: _ when String.equal flag name -> Some value
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list argv)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let json_path = flag_value "--json" Sys.argv in
+  let baseline_path = flag_value "--baseline" Sys.argv in
+  let max_regress =
+    match flag_value "--max-regress" Sys.argv with
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> failwith "--max-regress expects a number (percent)")
+    | None -> 30.0
+  in
+  let scale n = if quick then max 1 (n / 10) else n in
+  Printf.printf "circus wall-clock throughput benchmarks%s\n%!"
+    (if quick then " (quick)" else "");
+  let results =
+    [ bench_engine_wakes ~events:(scale 1_000_000);
+      bench_engine_timers ~events:(scale 1_000_000);
+      bench_engine_cancels ~events:(scale 400_000);
+      bench_fiber_spawn_wake ~fibers:(scale 40_000) ~yields:4;
+      bench_mailbox ~messages:(scale 200_000);
+      bench_mailbox_timeouts ~timeouts:(scale 100_000);
+      bench_wire_encode ~encodes:(scale 1_000_000) ]
+    @ List.map (fun n -> bench_rpc ~iterations:(scale 300) ~n) [ 1; 2; 3; 4; 5 ]
+  in
+  Printf.printf "%-20s | %12s | %10s | %14s\n" "bench" "ops" "wall (s)" "rate (ops/s)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-20s | %12d | %10.4f | %14.0f\n" r.name r.ops r.wall_s (rate r))
+    results;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (json_of_results results);
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path);
+  match baseline_path with
+  | None -> ()
+  | Some path ->
+    let base = parse_baseline (read_file path) in
+    Printf.printf "\ncomparison vs %s (gate: -%.0f%%)\n" path max_regress;
+    Printf.printf "%-20s | %14s | %14s | %9s\n" "bench" "baseline" "now" "change";
+    let worst = ref 0.0 in
+    List.iter
+      (fun r ->
+        match List.assoc_opt r.name base with
+        | None -> Printf.printf "%-20s | %14s | %14.0f | %9s\n" r.name "-" (rate r) "new"
+        | Some b when b <= 0.0 -> ()
+        | Some b ->
+          let change = 100.0 *. ((rate r /. b) -. 1.0) in
+          if -.change > !worst then worst := -.change;
+          Printf.printf "%-20s | %14.0f | %14.0f | %+8.1f%%\n" r.name b (rate r) change)
+      results;
+    if !worst > max_regress then begin
+      Printf.printf "\nFAIL: worst regression %.1f%% exceeds %.1f%%\n" !worst max_regress;
+      exit 1
+    end
+    else Printf.printf "\nOK: worst regression %.1f%% within %.1f%%\n" !worst max_regress

@@ -39,15 +39,32 @@ type stats = {
   mutable bytes_sent : int;
 }
 
+(* Partition state, precomputed for the per-datagram [reachable] test.
+
+   [set_partition] folds the group lists into one per-host bitmask of
+   group memberships: hosts are mutually reachable iff their masks
+   intersect, which makes [reachable] two array loads and an [land]
+   instead of the old O(groups x members) list scan per datagram.
+   Masks represent overlapping groups exactly.  With more than
+   [Sys.int_size - 1] groups (never seen in practice) we keep the
+   original list representation as a correct slow path. *)
+type partition =
+  | No_partition
+  | Masks of int array  (* host_id -> bitmask of containing groups *)
+  | Groups of Addr.host_id list list  (* > int_size-1 groups fallback *)
+
 type t = {
   engine : Engine.t;
   params : params;
   prng : Prng.t;
-  mutable host_table : Host.t list;  (* newest first *)
+  (* Host ids are dense (allocated sequentially from 0), so the host
+     table is a flat array indexed by id: O(1) lookup instead of the
+     old O(n) list scan on every socket/runtime operation. *)
+  mutable host_table : Host.t array;  (* first [next_host_id] slots live *)
   mutable next_host_id : int;
   ports : (Addr.host_id * int, socket) Hashtbl.t;
   ephemeral : (Addr.host_id, int ref) Hashtbl.t;
-  mutable partition : Addr.host_id list list option;
+  mutable partition : partition;
   stats : stats;
 }
 
@@ -55,11 +72,11 @@ let create engine ?(params = default_params) () =
   { engine;
     params;
     prng = Prng.split (Engine.prng engine);
-    host_table = [];
+    host_table = [||];
     next_host_id = 0;
     ports = Hashtbl.create 64;
     ephemeral = Hashtbl.create 16;
-    partition = None;
+    partition = No_partition;
     stats = { sent = 0; delivered = 0; dropped = 0; duplicated = 0; bytes_sent = 0 } }
 
 let engine t = t.engine
@@ -69,15 +86,18 @@ let add_host t ?name ?clock_offset ?attributes () =
   let id = t.next_host_id in
   t.next_host_id <- id + 1;
   let host = Host.create t.engine ~id ?name ?clock_offset ?attributes () in
-  t.host_table <- host :: t.host_table;
+  if id = Array.length t.host_table then begin
+    let grown = Array.make (max 8 (2 * id)) host in
+    Array.blit t.host_table 0 grown 0 id;
+    t.host_table <- grown
+  end;
+  t.host_table.(id) <- host;
   host
 
 let host t id =
-  match List.find_opt (fun h -> Host.id h = id) t.host_table with
-  | Some h -> h
-  | None -> raise Not_found
+  if id >= 0 && id < t.next_host_id then t.host_table.(id) else raise Not_found
 
-let hosts t = List.rev t.host_table
+let hosts t = Array.to_list (Array.sub t.host_table 0 t.next_host_id)
 
 let close sock =
   if not sock.closed then begin
@@ -127,16 +147,37 @@ let set_partition t groups =
     Trace.emit ~cat:"net"
       ~args:[ ("groups", Tev.Int (List.length groups)) ]
       "partition";
-  t.partition <- Some groups
+  let n_groups = List.length groups in
+  if n_groups >= Sys.int_size - 1 then t.partition <- Groups groups
+  else begin
+    (* Size the mask table to cover both registered hosts and any ids
+       named in the groups (the API allows not-yet-added ids). *)
+    let max_id =
+      List.fold_left (List.fold_left (fun acc id -> max acc id)) (t.next_host_id - 1) groups
+    in
+    let masks = Array.make (max_id + 1) 0 in
+    List.iteri
+      (fun gi members ->
+        let bit = 1 lsl gi in
+        List.iter (fun id -> if id >= 0 then masks.(id) <- masks.(id) lor bit) members)
+      groups;
+    t.partition <- Masks masks
+  end
 
 let heal_partition t =
   if Trace.on () then Trace.emit ~cat:"net" "heal";
-  t.partition <- None
+  t.partition <- No_partition
 
 let reachable t a b =
   match t.partition with
-  | None -> true
-  | Some groups -> a = b || List.exists (fun g -> List.mem a g && List.mem b g) groups
+  | No_partition -> true
+  | Masks masks ->
+    a = b
+    || (a >= 0 && b >= 0
+       && a < Array.length masks
+       && b < Array.length masks
+       && masks.(a) land masks.(b) <> 0)
+  | Groups groups -> a = b || List.exists (fun g -> List.mem a g && List.mem b g) groups
 
 let stats t = t.stats
 

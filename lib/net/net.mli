@@ -45,7 +45,8 @@ val add_host :
 (** Create and register a new host with the next free id. *)
 
 val host : t -> Addr.host_id -> Host.t
-(** Raises [Not_found] for unknown ids. *)
+(** O(1) (host ids are dense array indices).  Raises [Not_found] for
+    unknown ids. *)
 
 val hosts : t -> Host.t list
 
@@ -83,7 +84,10 @@ val set_partition : t -> Addr.host_id list list -> unit
     isolated. *)
 
 val heal_partition : t -> unit
+
 val reachable : t -> Addr.host_id -> Addr.host_id -> bool
+(** O(1): {!set_partition} precomputes a per-host bitmask of group
+    memberships, so the per-datagram test is one [land]. *)
 
 (** {1 Statistics} *)
 

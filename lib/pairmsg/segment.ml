@@ -35,16 +35,17 @@ let probe ~call_no = control Probe call_no
 let probe_ack ~call_no = control Probe_ack call_no
 let reject ~call_no = control Reject call_no
 
+(* Encoded once per datagram on the send path: reuse the scratch
+   writer rather than allocating a fresh buffer per segment. *)
 let encode t =
-  let w = Circus_wire.Buf.writer () in
-  Circus_wire.Buf.write_u8 w (msg_type_code t.msg_type);
-  let bits = (if t.please_ack then 1 else 0) lor if t.ack then 2 else 0 in
-  Circus_wire.Buf.write_u8 w bits;
-  Circus_wire.Buf.write_u8 w t.total;
-  Circus_wire.Buf.write_u8 w t.seg_no;
-  Circus_wire.Buf.write_u32 w t.call_no;
-  Circus_wire.Buf.write_bytes w t.data;
-  Circus_wire.Buf.contents w
+  Circus_wire.Buf.with_writer (fun w ->
+      Circus_wire.Buf.write_u8 w (msg_type_code t.msg_type);
+      let bits = (if t.please_ack then 1 else 0) lor if t.ack then 2 else 0 in
+      Circus_wire.Buf.write_u8 w bits;
+      Circus_wire.Buf.write_u8 w t.total;
+      Circus_wire.Buf.write_u8 w t.seg_no;
+      Circus_wire.Buf.write_u32 w t.call_no;
+      Circus_wire.Buf.write_bytes w t.data)
 
 let decode b =
   if Bytes.length b < header_size then None

@@ -1,31 +1,83 @@
 module Trace = Circus_trace.Trace
 
-type event = {
+type event = Event_heap.event = {
   time : float;
   seq : int;
   run : unit -> unit;
   mutable cancelled : bool;
+  cell : Event_heap.cell;
 }
 
 type handle = event
+
+(* FIFO ring buffer for events due at the current instant.
+
+   The overwhelmingly common scheduling pattern is [schedule ~delay:0.0]
+   — every fiber spawn, wake, yield, and mailbox hand-off.  Those
+   events bypass the O(log n) heap entirely.
+
+   Ordering argument (see DESIGN.md "Simulator performance"): an event
+   enters the ring only when its (clamped) time equals the current
+   clock [now].  The clock never advances while the ring is non-empty
+   (the engine always executes the globally minimal (time, seq) event,
+   and a ring event's time is <= any future heap event's time), so all
+   ring entries share time = now, and because [seq] increases
+   monotonically across all scheduling, FIFO order within the ring IS
+   (time, seq) order.  A single head-to-head comparison against the
+   heap minimum at dispatch time then reproduces exactly the total
+   (time, seq) execution order of the old heap-only engine. *)
+module Ready = struct
+  type t = {
+    mutable buf : event array;  (* capacity is a power of two *)
+    mutable head : int;
+    mutable count : int;
+  }
+
+  let create () = { buf = Array.make 64 Event_heap.sentinel; head = 0; count = 0 }
+  let length q = q.count
+
+  let grow q =
+    let cap = Array.length q.buf in
+    let buf' = Array.make (2 * cap) Event_heap.sentinel in
+    for i = 0 to q.count - 1 do
+      buf'.(i) <- q.buf.((q.head + i) land (cap - 1))
+    done;
+    q.buf <- buf';
+    q.head <- 0
+
+  let push q ev =
+    if q.count = Array.length q.buf then grow q;
+    q.buf.((q.head + q.count) land (Array.length q.buf - 1)) <- ev;
+    q.count <- q.count + 1
+
+  (* Both require [count > 0]; the engine checks. *)
+  let peek q = q.buf.(q.head)
+
+  let pop q =
+    let ev = q.buf.(q.head) in
+    q.buf.(q.head) <- Event_heap.sentinel;
+    q.head <- (q.head + 1) land (Array.length q.buf - 1);
+    q.count <- q.count - 1;
+    ev
+end
 
 type t = {
   mutable now : float;
   mutable seq : int;
   mutable next_fiber : int;
-  queue : event Heap.t;
+  heap : Event_heap.t;  (* future events: time > enqueue-instant *)
+  ready : Ready.t;  (* events due now, FIFO = (time, seq) order *)
+  cell : Event_heap.cell;  (* cancelled-but-queued count *)
   root_prng : Prng.t;
 }
-
-let compare_events a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
 
 let create ?(seed = 42) () =
   { now = 0.0;
     seq = 0;
     next_fiber = 0;
-    queue = Heap.create ~cmp:compare_events;
+    heap = Event_heap.create ();
+    ready = Ready.create ();
+    cell = { Event_heap.cancelled_pending = 0 };
     root_prng = Prng.create seed }
 
 let now t = t.now
@@ -44,56 +96,118 @@ let next_fiber_id t =
    overhead below is a single boolean load. *)
 let enable_tracing ?capacity t = Trace.start ?capacity ~clock:(fun () -> t.now) ()
 
+(* Mass [Fiber.cancel] can leave the heap dominated by dead events
+   (e.g. thousands of abandoned timeout guards with far-future
+   deadlines).  When cancelled events outnumber live ones — beyond a
+   floor that keeps small heaps alone — sweep them out in O(n).
+   Correctness: compaction only removes events that could never have
+   executed, and cannot reorder survivors (total (time, seq) order;
+   see Event_heap).  The check is two loads and a compare, cheap
+   enough for the schedule path. *)
+let[@inline] maybe_compact t =
+  let c = t.cell.Event_heap.cancelled_pending in
+  if c > 64 && c * 2 > Event_heap.length t.heap + Ready.length t.ready then begin
+    let removed = Event_heap.compact t.heap in
+    t.cell.Event_heap.cancelled_pending <- c - removed
+  end
+
 let schedule_abs t ~at f =
-  let time = if at < t.now then t.now else at in
-  let ev = { time; seq = t.seq; run = f; cancelled = false } in
-  t.seq <- t.seq + 1;
-  Heap.push t.queue ev;
+  let time = if at <= t.now then t.now else at in
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  let ev = { time; seq; run = f; cancelled = false; cell = t.cell } in
+  if time = t.now then Ready.push t.ready ev
+  else begin
+    maybe_compact t;
+    Event_heap.push t.heap ev
+  end;
   ev
 
 let schedule t ~delay f =
   let delay = if delay < 0.0 then 0.0 else delay in
   schedule_abs t ~at:(t.now +. delay) f
 
-let cancel ev = ev.cancelled <- true
+let cancel ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    ev.cell.Event_heap.cancelled_pending <- ev.cell.Event_heap.cancelled_pending + 1
+  end
+
+let[@inline] note_dropped t = t.cell.Event_heap.cancelled_pending <- t.cell.Event_heap.cancelled_pending - 1
+
+(* Pop the globally minimal (time, seq) event across ring and heap. *)
+let[@inline] pop_next t =
+  if Ready.length t.ready = 0 then Event_heap.pop_exn t.heap
+  else if Event_heap.is_empty t.heap then Ready.pop t.ready
+  else if Event_heap.before (Event_heap.peek_exn t.heap) (Ready.peek t.ready) then
+    Event_heap.pop_exn t.heap
+  else Ready.pop t.ready
 
 (* Cancelled events are dropped without advancing the clock. *)
 let rec step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-    if ev.cancelled then step t
+  if Ready.length t.ready = 0 && Event_heap.is_empty t.heap then false
+  else begin
+    let ev = pop_next t in
+    if ev.cancelled then begin
+      note_dropped t;
+      step t
+    end
     else begin
       t.now <- ev.time;
       if Trace.on () then Trace.incr "engine.events";
       ev.run ();
       true
     end
+  end
 
+(* Drop cancelled events sitting at the front of either queue so the
+   horizon check below only ever looks at a live event. *)
 let rec drop_cancelled t =
-  match Heap.peek t.queue with
-  | Some ev when ev.cancelled ->
-    ignore (Heap.pop t.queue);
+  if Ready.length t.ready > 0 && (Ready.peek t.ready).cancelled then begin
+    ignore (Ready.pop t.ready);
+    note_dropped t;
     drop_cancelled t
-  | Some _ | None -> ()
+  end
+  else if (not (Event_heap.is_empty t.heap)) && (Event_heap.peek_exn t.heap).cancelled
+  then begin
+    ignore (Event_heap.pop_exn t.heap);
+    note_dropped t;
+    drop_cancelled t
+  end
 
 let run ?until ?(max_events = 50_000_000) t =
   let executed = ref 0 in
   let continue_run = ref true in
-  while !continue_run && !executed < max_events do
-    drop_cancelled t;
-    match Heap.peek t.queue with
-    | None -> continue_run := false
-    | Some ev -> (
-      match until with
-      | Some horizon when ev.time > horizon ->
-        t.now <- horizon;
-        continue_run := false
-      | _ ->
-        ignore (step t);
-        incr executed)
-  done;
+  (match until with
+  | None ->
+    (* No horizon: tight loop, no per-event peeking. *)
+    while !continue_run && !executed < max_events do
+      if step t then incr executed else continue_run := false
+    done
+  | Some horizon ->
+    while !continue_run && !executed < max_events do
+      drop_cancelled t;
+      let have_ready = Ready.length t.ready > 0 in
+      let have_heap = not (Event_heap.is_empty t.heap) in
+      if not (have_ready || have_heap) then continue_run := false
+      else begin
+        let next_time =
+          if have_ready then
+            (* Ring entries are due at or before any heap entry. *)
+            (Ready.peek t.ready).time
+          else (Event_heap.peek_exn t.heap).time
+        in
+        if next_time > horizon then begin
+          t.now <- horizon;
+          continue_run := false
+        end
+        else begin
+          ignore (step t);
+          incr executed
+        end
+      end
+    done);
   if !executed >= max_events then
     invalid_arg "Engine.run: max_events exceeded (runaway simulation?)"
 
-let pending t = Heap.length t.queue
+let pending t = Event_heap.length t.heap + Ready.length t.ready

@@ -2,7 +2,17 @@
 
     The engine owns the virtual clock and a pending-event queue.
     Events scheduled for the same instant fire in scheduling order
-    (FIFO), which keeps simulations deterministic. *)
+    (FIFO), which keeps simulations deterministic.
+
+    Internally events live in two structures whose merge preserves the
+    total (time, seq) execution order exactly: a monomorphic binary
+    heap ({!Event_heap}) for future timers, and an allocation-free
+    FIFO ring for events due at the current instant — the
+    [schedule ~delay:0.0] fast path taken by every fiber spawn, wake,
+    yield, and mailbox hand-off.  Cancelled events are swept from the
+    heap in bulk when they outnumber live ones, so mass {!Fiber.cancel}
+    does not bloat the queue.  See DESIGN.md "Simulator performance"
+    for the ordering argument and the benchmark suite. *)
 
 type t
 

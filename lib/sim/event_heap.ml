@@ -1,0 +1,153 @@
+(* Monomorphic binary min-heap over simulation events.
+
+   The generic [Heap] this replaces compared elements through a [cmp]
+   closure and boxed every [pop]/[peek] result in an [option]; on the
+   simulator's hottest path (every timer, every fiber wake) those costs
+   dominated.  This heap is specialized to the concrete [event] record:
+   the (time, seq) comparison is inlined, [pop_exn]/[peek_exn] return
+   the event unboxed, and freed slots are reset to a [sentinel] so the
+   array never retains dead [run] closures.
+
+   Ordering: strict (time, seq).  [seq] is unique per engine, so the
+   order is total — which also means the pop sequence is independent of
+   the heap's internal array layout, and [compact] (which drops
+   cancelled events and re-heapifies with Floyd's algorithm) cannot
+   perturb execution order. *)
+
+(* Shared cancellation counter: every event holds a pointer to its
+   engine's cell so [Engine.cancel], which only sees the event, can
+   keep the count of cancelled-but-still-queued events current. *)
+type cell = { mutable cancelled_pending : int }
+
+type event = {
+  time : float;
+  seq : int;
+  run : unit -> unit;
+  mutable cancelled : bool;
+  cell : cell;
+}
+
+let dummy_cell = { cancelled_pending = 0 }
+
+(* Compares greater than every real event; marked cancelled so a stray
+   sentinel can never execute. *)
+let sentinel =
+  { time = infinity; seq = max_int; run = ignore; cancelled = true; cell = dummy_cell }
+
+type t = { mutable data : event array; mutable size : int }
+
+let create () = { data = Array.make 16 sentinel; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+(* Times are never NaN (they derive from clamped clock arithmetic), so
+   plain float comparison is safe and faster than Float.compare. *)
+let[@inline] before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let push h x =
+  if h.size = Array.length h.data then begin
+    let data' = Array.make (2 * Array.length h.data) sentinel in
+    Array.blit h.data 0 data' 0 h.size;
+    h.data <- data'
+  end;
+  let data = h.data in
+  (* Hole-based sift-up: move parents down into the hole, write [x]
+     once at the end — no per-level swaps. *)
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before x data.(parent) then begin
+      data.(!i) <- data.(parent);
+      i := parent
+    end
+    else moving := false
+  done;
+  data.(!i) <- x
+
+let peek_exn h =
+  if h.size = 0 then invalid_arg "Event_heap.peek_exn: empty";
+  h.data.(0)
+
+let pop_exn h =
+  if h.size = 0 then invalid_arg "Event_heap.pop_exn: empty";
+  let data = h.data in
+  let root = data.(0) in
+  let n = h.size - 1 in
+  h.size <- n;
+  let last = data.(n) in
+  data.(n) <- sentinel;
+  if n > 0 then begin
+    (* Sift the hole down, then drop [last] in. *)
+    let i = ref 0 in
+    let moving = ref true in
+    while !moving do
+      let l = (2 * !i) + 1 in
+      if l >= n then moving := false
+      else begin
+        let r = l + 1 in
+        let c = if r < n && before data.(r) data.(l) then r else l in
+        if before data.(c) last then begin
+          data.(!i) <- data.(c);
+          i := c
+        end
+        else moving := false
+      end
+    done;
+    data.(!i) <- last
+  end;
+  root
+
+(* Remove every cancelled event and restore the heap property with
+   Floyd's bottom-up heapify (O(n)).  Because (time, seq) is a total
+   order, the subsequent pop sequence is the same as if the cancelled
+   events had been lazily skipped — only the array layout changes.
+   Returns the number of events removed. *)
+let compact h =
+  let data = h.data in
+  let kept = ref 0 in
+  for i = 0 to h.size - 1 do
+    let ev = data.(i) in
+    if not ev.cancelled then begin
+      data.(!kept) <- ev;
+      incr kept
+    end
+  done;
+  let removed = h.size - !kept in
+  for i = !kept to h.size - 1 do
+    data.(i) <- sentinel
+  done;
+  h.size <- !kept;
+  let n = h.size in
+  let sift_down start =
+    let x = data.(start) in
+    let i = ref start in
+    let moving = ref true in
+    while !moving do
+      let l = (2 * !i) + 1 in
+      if l >= n then moving := false
+      else begin
+        let r = l + 1 in
+        let c = if r < n && before data.(r) data.(l) then r else l in
+        if before data.(c) x then begin
+          data.(!i) <- data.(c);
+          i := c
+        end
+        else moving := false
+      end
+    done;
+    data.(!i) <- x
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down i
+  done;
+  removed
+
+let clear h =
+  Array.fill h.data 0 h.size sentinel;
+  h.size <- 0
+
+let to_list h =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (h.data.(i) :: acc) in
+  loop (h.size - 1) []

@@ -1,0 +1,62 @@
+(** Monomorphic binary min-heap over simulation events.
+
+    Specialized replacement for the old polymorphic [Heap]: the
+    (time, seq) comparison is inlined (no [cmp] closure) and the
+    [_exn] accessors return events unboxed (no [option] per pop on the
+    engine's hot path).  Freed slots are overwritten with a sentinel
+    so the backing array never retains dead [run] closures.
+
+    The ordering key (time, seq) is a {e total} order — [seq] is
+    unique per engine — so the pop sequence is independent of the
+    internal array layout.  That is what makes {!compact} safe: it may
+    rearrange the array but cannot change which event pops next. *)
+
+type cell = { mutable cancelled_pending : int }
+(** Shared counter of cancelled-but-still-queued events.  Each event
+    points at its engine's cell so cancellation (which only sees the
+    event) can maintain the count the engine uses to decide when to
+    {!compact}. *)
+
+type event = {
+  time : float;  (** absolute virtual time *)
+  seq : int;  (** engine-wide schedule sequence number; unique *)
+  run : unit -> unit;
+  mutable cancelled : bool;
+  cell : cell;
+}
+
+val dummy_cell : cell
+(** A cell for events not owned by any engine (tests, {!sentinel}). *)
+
+val sentinel : event
+(** Fills empty slots; compares greater than every real event and is
+    permanently [cancelled]. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val before : event -> event -> bool
+(** [before a b] is strict (time, seq) order.  Exposed for the engine's
+    ready-queue/heap merge and for the property tests. *)
+
+val push : t -> event -> unit
+(** O(log n), allocation-free (amortized array growth aside). *)
+
+val peek_exn : t -> event
+(** Minimum element; raises [Invalid_argument] when empty. *)
+
+val pop_exn : t -> event
+(** Remove and return the minimum element; raises [Invalid_argument]
+    when empty.  The vacated slot is reset to {!sentinel}. *)
+
+val compact : t -> int
+(** Drop every cancelled event and re-heapify in O(n); returns the
+    number removed.  Pop order of the survivors is unchanged. *)
+
+val clear : t -> unit
+
+val to_list : t -> event list
+(** Snapshot in unspecified order (for tests/debugging). *)

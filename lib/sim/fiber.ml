@@ -19,7 +19,7 @@ type t = {
 }
 
 type _ Effect.t +=
-  | Suspend : ('a waker -> unit) -> 'a Effect.t
+  | Suspend : ('a waker -> unit) * (unit -> unit) -> 'a Effect.t
   | Self : t Effect.t
 
 let default_uncaught fiber e =
@@ -56,7 +56,7 @@ let spawn engine ?(label = "fiber") f =
           match eff with
           | Self ->
             Some (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k fiber)
-          | Suspend register ->
+          | Suspend (register, on_abort) ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 let fired = ref false in
@@ -73,7 +73,16 @@ let spawn engine ?(label = "fiber") f =
                                "resume";
                            match r with
                            | Ok v -> Effect.Deep.continue k v
-                           | Error e -> Effect.Deep.discontinue k e))
+                           | Error e ->
+                             (* The suspension is being abandoned: let
+                                the suspender unhook itself (retire a
+                                queued waiter, cancel a timer) before
+                                the exception resumes in the fiber.
+                                Running it here rather than in a
+                                try/with at the suspend site keeps a
+                                trap frame off the hot resume path. *)
+                             on_abort ();
+                             Effect.Deep.discontinue k e))
                   end
                 in
                 if fiber.cancel_requested then wake (Error Cancelled)
@@ -99,16 +108,16 @@ let self () = Effect.perform Self
 let engine () = (self ()).engine_
 let label t = t.label_
 let id t = t.id
-let suspend register = Effect.perform (Suspend register)
+let no_cleanup () = ()
+let suspend ?(on_abort = no_cleanup) register = Effect.perform (Suspend (register, on_abort))
 
 let sleep duration =
   let eng = engine () in
   let timer = ref None in
-  try suspend (fun wake -> timer := Some (Engine.schedule eng ~delay:duration (fun () -> wake (Ok ()))))
-  with e ->
+  suspend
     (* Cancelled while asleep: remove the stale timer event. *)
-    (match !timer with Some h -> Engine.cancel h | None -> ());
-    raise e
+    ~on_abort:(fun () -> match !timer with Some h -> Engine.cancel h | None -> ())
+    (fun wake -> timer := Some (Engine.schedule eng ~delay:duration (fun () -> wake (Ok ()))))
 
 let yield () = sleep 0.0
 

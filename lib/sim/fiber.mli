@@ -42,11 +42,17 @@ val yield : unit -> unit
 (** Reschedule at the current instant, letting other ready fibers
     run. *)
 
-val suspend : ('a waker -> unit) -> 'a
+val suspend : ?on_abort:(unit -> unit) -> ('a waker -> unit) -> 'a
 (** [suspend register] blocks the current fiber and calls [register]
     with a waker.  The fiber resumes with [v] when the waker is called
     with [Ok v], or raises [e] when called with [Error e].  This is the
-    primitive from which all synchronization objects are built. *)
+    primitive from which all synchronization objects are built.
+
+    [on_abort] runs just before an [Error _] resumption is delivered
+    (cancellation, typically): use it to unhook state registered by
+    [register] — retire a queued waiter, cancel a timer — without
+    paying for a [try]/[with] around the suspension on the hot path.
+    It does not run on [Ok _] resumptions. *)
 
 val cancel : t -> unit
 (** Request cancellation: a suspended fiber is woken with {!Cancelled};

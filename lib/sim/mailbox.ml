@@ -1,15 +1,25 @@
 type 'a waiter = {
   mutable active : bool;
-  wake : 'a option Fiber.waker;
+  (* Written once inside [Fiber.suspend]; mutable (with a dummy
+     initial value) so the waiter can be allocated before suspending,
+     letting the cancellation cleanup reach it without an extra ref
+     cell on the hot receive path. *)
+  mutable wake : 'a option Fiber.waker;
   mutable timer : Engine.handle option;
 }
+
+let dummy_wake _ = ()
 
 type watcher = { watcher_id : int; notify : unit -> unit }
 
 type 'a t = {
   engine : Engine.t;
   items : 'a Queue.t;
-  waiters : 'a waiter Queue.t;
+  mutable waiters : 'a waiter Queue.t;
+  (* Waiters deactivated by timeout or cancellation that are still
+     sitting in [waiters].  Kept so they can be swept eagerly rather
+     than lingering until some future [send] happens to pop them. *)
+  mutable inactive : int;
   mutable watchers : watcher list;
   mutable next_watcher : int;
 }
@@ -18,14 +28,41 @@ let create engine =
   { engine;
     items = Queue.create ();
     waiters = Queue.create ();
+    inactive = 0;
     watchers = [];
     next_watcher = 0 }
+
+(* Rebuild [waiters] without the dead entries once they dominate; the
+   floor keeps small queues alone.  O(n) amortized against the >n/2
+   dead entries removed. *)
+let maybe_compact t =
+  if t.inactive > 8 && 2 * t.inactive > Queue.length t.waiters then begin
+    let keep = Queue.create () in
+    Queue.iter (fun w -> if w.active then Queue.push w keep) t.waiters;
+    t.waiters <- keep;
+    t.inactive <- 0
+  end
+
+(* Deactivate a waiter that remains queued (timed out or cancelled). *)
+let retire t w =
+  if w.active then begin
+    w.active <- false;
+    (match w.timer with Some h -> Engine.cancel h | None -> ());
+    w.timer <- None;
+    t.inactive <- t.inactive + 1;
+    maybe_compact t
+  end
 
 (* Pop waiters until one that has not timed out or been cancelled. *)
 let rec pop_active_waiter t =
   match Queue.take_opt t.waiters with
   | None -> None
-  | Some w -> if w.active then Some w else pop_active_waiter t
+  | Some w ->
+    if w.active then Some w
+    else begin
+      t.inactive <- t.inactive - 1;
+      pop_active_waiter t
+    end
 
 let send t v =
   (match pop_active_waiter t with
@@ -42,8 +79,15 @@ let recv ?timeout t =
   match Queue.take_opt t.items with
   | Some v -> Some v
   | None ->
-    Fiber.suspend (fun wake ->
-        let w = { active = true; wake; timer = None } in
+    let w = { active = true; wake = dummy_wake; timer = None } in
+    Fiber.suspend
+      (* Cancelled (or otherwise discontinued) while parked: retire the
+         waiter eagerly.  Beyond reclaiming memory this keeps a later
+         [send] from "delivering" to the dead waiter — whose waker is a
+         no-op by then — which would silently lose the message. *)
+      ~on_abort:(fun () -> retire t w)
+      (fun wake ->
+        w.wake <- wake;
         Queue.push w t.waiters;
         match timeout with
         | None -> ()
@@ -53,10 +97,14 @@ let recv ?timeout t =
               (Engine.schedule t.engine ~delay:duration (fun () ->
                    if w.active then begin
                      w.active <- false;
+                     w.timer <- None;
+                     t.inactive <- t.inactive + 1;
+                     maybe_compact t;
                      wake (Ok None)
                    end)))
 
 let length t = Queue.length t.items
+let waiting t = Queue.length t.waiters - t.inactive
 let clear t = Queue.clear t.items
 
 let watch t notify =

@@ -21,6 +21,11 @@ val try_recv : 'a t -> 'a option
 val length : 'a t -> int
 (** Messages currently queued (excluding any being awaited). *)
 
+val waiting : 'a t -> int
+(** Receivers currently blocked in {!recv}.  Waiters whose timeout
+    expired or whose fiber was cancelled do not count and are
+    reclaimed eagerly rather than lingering until a future {!send}. *)
+
 val clear : 'a t -> unit
 
 type watcher

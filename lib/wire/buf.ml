@@ -6,23 +6,42 @@ exception Underflow
 let writer () = Buffer.create 64
 let contents w = Buffer.to_bytes w
 let writer_length = Buffer.length
+let reset = Buffer.clear
 
-let write_u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
+(* One process-wide scratch writer, reused across encodes: [contents]
+   copies into fresh bytes, so handing the same underlying storage to
+   consecutive encoders is safe and removes the per-datagram
+   [Buffer.create].  The simulator is single-threaded; the [busy]
+   flag only guards *reentrant* use (an encoder that itself encodes),
+   which falls back to a fresh writer. *)
+let scratch = Buffer.create 256
+let scratch_busy = ref false
 
-let write_u16 w v =
-  write_u8 w (v lsr 8);
-  write_u8 w v
+let with_writer f =
+  if !scratch_busy then begin
+    let w = writer () in
+    f w;
+    Buffer.to_bytes w
+  end
+  else begin
+    scratch_busy := true;
+    Fun.protect
+      ~finally:(fun () ->
+        scratch_busy := false;
+        (* Don't let one oversized datagram pin a huge buffer. *)
+        if Buffer.length scratch > 1 lsl 20 then Buffer.reset scratch)
+      (fun () ->
+        Buffer.clear scratch;
+        f scratch;
+        Buffer.to_bytes scratch)
+  end
 
-let write_u32 w v =
-  let b = Bytes.create 4 in
-  Bytes.set_int32_be b 0 v;
-  Buffer.add_bytes w b
-
-let write_u64 w v =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_be b 0 v;
-  Buffer.add_bytes w b
-
+(* All writers append directly into the Buffer's storage; no per-call
+   scratch Bytes allocation. *)
+let write_u8 w v = Buffer.add_char w (Char.unsafe_chr (v land 0xff))
+let write_u16 w v = Buffer.add_uint16_be w (v land 0xffff)
+let write_u32 w v = Buffer.add_int32_be w v
+let write_u64 w v = Buffer.add_int64_be w v
 let write_bytes w b = Buffer.add_bytes w b
 let write_string w s = Buffer.add_string w s
 

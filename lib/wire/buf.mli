@@ -13,6 +13,17 @@ val writer : unit -> writer
 val contents : writer -> bytes
 val writer_length : writer -> int
 
+val reset : writer -> unit
+(** Empty the writer, keeping its internal storage for reuse. *)
+
+val with_writer : (writer -> unit) -> bytes
+(** [with_writer f] runs [f] against a process-wide scratch writer and
+    returns the encoded bytes (always freshly copied, never aliased).
+    This is the hot-path encode entry point: it skips the per-call
+    buffer allocation of {!writer}.  Reentrant calls (an encoder that
+    itself encodes) transparently fall back to a fresh writer, and the
+    scratch storage is shed if a jumbo encode ever balloons it. *)
+
 val write_u8 : writer -> int -> unit
 val write_u16 : writer -> int -> unit
 val write_u32 : writer -> int32 -> unit

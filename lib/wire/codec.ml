@@ -4,10 +4,9 @@ type 'a t = { write : Buf.writer -> 'a -> unit; read : Buf.reader -> 'a }
 
 let make write read = { write; read }
 
-let encode c v =
-  let w = Buf.writer () in
-  c.write w v;
-  Buf.contents w
+(* Reuses the module-wide scratch writer: no buffer allocation per
+   encode (see Buf.with_writer). *)
+let encode c v = Buf.with_writer (fun w -> c.write w v)
 
 let decode c b =
   let r = Buf.reader b in

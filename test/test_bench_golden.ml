@@ -1,0 +1,58 @@
+(* Golden determinism test for the benchmark smoke export.
+
+   [bench/main.exe --smoke --json out.json] writes the Table 4.1
+   comparison produced by a fixed-seed simulated run.  The simulation
+   is deterministic, so those bytes must never change unless the
+   performance model itself changes — in which case the fixture is
+   regenerated deliberately:
+
+     dune exec bench/main.exe -- --smoke --json test/fixtures/table_4_1_smoke.json
+
+   Comparing bytes (not parsed values) also pins the float formatting
+   of the exporter, which the trace / analysis tooling relies on. *)
+
+let fixture_path = "fixtures/table_4_1_smoke.json"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let diff_position a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let test_smoke_json_golden () =
+  let expected = read_file fixture_path in
+  let _, actual = Circus_workloads.Table_json.smoke_json () in
+  if not (String.equal expected actual) then begin
+    let pos = diff_position expected actual in
+    let context s =
+      let from = max 0 (pos - 40) in
+      String.sub s from (min 80 (String.length s - from))
+    in
+    Alcotest.failf
+      "smoke JSON diverges from %s at byte %d (fixture %d bytes, got %d)\n\
+       fixture: %S\n\
+       actual:  %S\n\
+       If the performance model changed on purpose, regenerate the fixture\n\
+       with: dune exec bench/main.exe -- --smoke --json test/fixtures/table_4_1_smoke.json"
+      fixture_path pos (String.length expected) (String.length actual) (context expected)
+      (context actual)
+  end
+
+let test_smoke_json_repeatable () =
+  (* Two runs in the same process must agree byte-for-byte: no state
+     leaks between simulated runs (scratch buffers, PRNG, trace). *)
+  let _, first = Circus_workloads.Table_json.smoke_json () in
+  let _, second = Circus_workloads.Table_json.smoke_json () in
+  Alcotest.(check string) "same bytes across runs" first second
+
+let () =
+  Alcotest.run "bench_golden"
+    [ ( "table-4.1",
+        [ Alcotest.test_case "smoke json matches fixture" `Slow test_smoke_json_golden;
+          Alcotest.test_case "smoke json repeatable in-process" `Slow test_smoke_json_repeatable ] )
+    ]

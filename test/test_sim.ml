@@ -5,28 +5,68 @@ open Circus_sim
 let check_float = Alcotest.(check (float 1e-9))
 
 (* ------------------------------------------------------------------ *)
-(* Heap *)
+(* Event heap (monomorphic; replaces the old generic Heap) *)
 
-let test_heap_ordering () =
-  let h = Heap.create ~cmp:Int.compare in
-  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
-  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
-  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain [])
+(* Build a detached event (tests drive the heap directly, no engine). *)
+let mk_event ?(cancelled = false) ~time ~seq () =
+  { Event_heap.time;
+    seq;
+    run = ignore;
+    cancelled;
+    cell = Event_heap.dummy_cell }
 
-let test_heap_empty () =
-  let h = Heap.create ~cmp:Int.compare in
-  Alcotest.(check bool) "empty" true (Heap.is_empty h);
-  Alcotest.(check (option int)) "pop" None (Heap.pop h);
-  Alcotest.(check (option int)) "peek" None (Heap.peek h)
+let event_key (e : Event_heap.event) = (e.Event_heap.time, e.Event_heap.seq)
 
-let prop_heap_sorts =
-  QCheck.Test.make ~name:"heap drains sorted" ~count:200
-    QCheck.(list int)
-    (fun xs ->
-      let h = Heap.create ~cmp:Int.compare in
-      List.iter (Heap.push h) xs;
-      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
-      drain [] = List.sort Int.compare xs)
+let test_event_heap_ordering () =
+  let h = Event_heap.create () in
+  (* duplicate times force the seq tie-break *)
+  List.iteri
+    (fun seq time -> Event_heap.push h (mk_event ~time ~seq ()))
+    [ 5.0; 3.0; 3.0; 1.0; 9.0; 1.0; 7.0 ];
+  let rec drain acc =
+    if Event_heap.is_empty h then List.rev acc
+    else drain (event_key (Event_heap.pop_exn h) :: acc)
+  in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "sorted by (time, seq)"
+    [ (1.0, 3); (1.0, 5); (3.0, 1); (3.0, 2); (5.0, 0); (7.0, 6); (9.0, 4) ]
+    (drain [])
+
+let test_event_heap_empty () =
+  let h = Event_heap.create () in
+  Alcotest.(check bool) "empty" true (Event_heap.is_empty h);
+  Alcotest.check_raises "pop_exn raises" (Invalid_argument "Event_heap.pop_exn: empty")
+    (fun () -> ignore (Event_heap.pop_exn h));
+  Alcotest.check_raises "peek_exn raises" (Invalid_argument "Event_heap.peek_exn: empty")
+    (fun () -> ignore (Event_heap.peek_exn h))
+
+(* Random push/cancel/compact interleavings drain in exact (time, seq)
+   order, matching a sorted-list reference model. *)
+let prop_event_heap_sorts =
+  QCheck.Test.make ~name:"event heap drains in (time, seq) order" ~count:300
+    QCheck.(list (pair (int_bound 10) bool))
+    (fun spec ->
+      let h = Event_heap.create () in
+      let events =
+        List.mapi
+          (fun seq (t, cancelled) ->
+            mk_event ~cancelled ~time:(float_of_int t /. 4.0) ~seq ())
+          spec
+      in
+      List.iter (Event_heap.push h) events;
+      (* compacting mid-stream must not change the drain order *)
+      ignore (Event_heap.compact h);
+      let rec drain acc =
+        if Event_heap.is_empty h then List.rev acc
+        else drain (event_key (Event_heap.pop_exn h) :: acc)
+      in
+      let expected =
+        events
+        |> List.filter (fun (e : Event_heap.event) -> not e.Event_heap.cancelled)
+        |> List.map event_key
+        |> List.sort compare
+      in
+      drain [] = expected)
 
 (* ------------------------------------------------------------------ *)
 (* Prng *)
@@ -119,6 +159,150 @@ let test_engine_nested_schedule () =
            (Engine.schedule engine ~delay:0.5 (fun () -> times := Engine.now engine :: !times))));
   Engine.run engine;
   Alcotest.(check (list (float 1e-9))) "nested" [ 1.0; 1.5 ] (List.rev !times)
+
+(* The ready-queue/heap merge must preserve (time, seq) order: a
+   zero-delay event scheduled *during* an event at time T (ready ring,
+   larger seq) fires after a pre-existing heap event also due at T
+   (smaller seq). *)
+let test_engine_ready_queue_vs_heap_ties () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  ignore
+    (Engine.schedule engine ~delay:1.0 (fun () ->
+         record "a" ();
+         (* due now -> ready ring, seq 2 *)
+         ignore (Engine.schedule engine ~delay:0.0 (record "c"))));
+  (* heap, due at the same instant, seq 1 *)
+  ignore (Engine.schedule engine ~delay:1.0 (record "b"));
+  Engine.run engine;
+  Alcotest.(check (list string)) "heap seq beats later ready seq" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let test_engine_zero_delay_fifo () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule engine ~delay:0.0 (fun () -> log := i :: !log))
+  done;
+  ignore (Engine.schedule engine ~delay:0.0 (fun () -> log := 6 :: !log));
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5; 6 ] (List.rev !log)
+
+let test_engine_cancel_ready_event () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule engine ~delay:0.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled zero-delay event" false !fired
+
+(* Mass cancellation must not bloat the pending queue: once cancelled
+   events dominate, the next schedule sweeps them out. *)
+let test_engine_mass_cancel_compacts () =
+  let engine = Engine.create () in
+  let handles =
+    List.init 1000 (fun _ -> Engine.schedule engine ~delay:1000.0 (fun () -> ()))
+  in
+  Alcotest.(check int) "all queued" 1000 (Engine.pending engine);
+  List.iter Engine.cancel handles;
+  ignore (Engine.schedule engine ~delay:0.5 (fun () -> ()));
+  Alcotest.(check bool) "dead events swept" true (Engine.pending engine <= 2);
+  Engine.run engine;
+  check_float "clock stops at live event" 0.5 (Engine.now engine)
+
+(* Random schedule/cancel interleavings against a sorted-list reference
+   model: the engine (ready ring + heap + compaction) must execute in
+   exactly the model's (time, seq) order.  Specs drive both sides:
+   top-level events may, on firing, schedule a child (possibly with
+   delay 0 -> the ready ring) and/or cancel the previous top-level
+   event (exercising cancellation of both pending and fired events). *)
+let prop_engine_matches_reference_model =
+  let delays = [| 0.0; 0.0; 0.25; 0.5; 1.0 |] in
+  let spec =
+    QCheck.Gen.(
+      map3
+        (fun d child cancel_prev -> (d, child, cancel_prev))
+        (int_bound (Array.length delays - 1))
+        (opt (int_bound (Array.length delays - 1)))
+        bool)
+  in
+  let arb = QCheck.make ~print:(fun l -> string_of_int (List.length l))
+      QCheck.Gen.(list_size (int_range 0 40) spec)
+  in
+  QCheck.Test.make ~name:"engine matches sorted-list reference model" ~count:300 arb
+    (fun specs ->
+      let n = List.length specs in
+      (* --- engine side --- *)
+      let engine = Engine.create () in
+      let fired = ref [] in
+      let fresh = ref n in
+      let handles = Array.make (max n 1) None in
+      List.iteri
+        (fun i (d, child, cancel_prev) ->
+          let run () =
+            fired := i :: !fired;
+            (match child with
+            | Some cd ->
+              let cid = !fresh in
+              incr fresh;
+              ignore
+                (Engine.schedule engine ~delay:delays.(cd) (fun () ->
+                     fired := cid :: !fired))
+            | None -> ());
+            if cancel_prev && i > 0 then
+              match handles.(i - 1) with Some h -> Engine.cancel h | None -> ()
+          in
+          handles.(i) <- Some (Engine.schedule engine ~delay:delays.(d) run))
+        specs;
+      Engine.run engine;
+      let engine_order = List.rev !fired in
+      (* --- reference model: plain sorted-list event queue --- *)
+      let model_fired = ref [] in
+      let model_fresh = ref n in
+      let model_seq = ref n in
+      let cancelled = Array.make (max !fresh 1) false in
+      (* pending: (time, seq, id, action); top-level i has seq i *)
+      let pending =
+        ref
+          (List.mapi (fun i (d, child, cancel_prev) ->
+               (delays.(d), i, i, Some (child, cancel_prev)))
+             specs)
+      in
+      let rec drain now =
+        match
+          List.fold_left
+            (fun best ((t, s, _, _) as e) ->
+              match best with
+              | Some (bt, bs, _, _) when bt < t || (bt = t && bs < s) -> best
+              | _ -> Some e)
+            None !pending
+        with
+        | None -> ()
+        | Some ((_, _, id, action) as e) ->
+          pending := List.filter (fun e' -> e' != e) !pending;
+          if cancelled.(id) then drain now
+          else begin
+            let t, _, _, _ = e in
+            model_fired := id :: !model_fired;
+            (match action with
+            | Some (child, cancel_prev) ->
+              let i = id in
+              (match child with
+              | Some cd ->
+                let cid = !model_fresh in
+                incr model_fresh;
+                let seq = !model_seq in
+                incr model_seq;
+                pending := (t +. delays.(cd), seq, cid, None) :: !pending
+              | None -> ());
+              if cancel_prev && i > 0 && i - 1 < n then cancelled.(i - 1) <- true
+            | None -> ());
+            drain t
+          end
+      in
+      drain 0.0;
+      engine_order = List.rev !model_fired)
 
 (* ------------------------------------------------------------------ *)
 (* Fiber *)
@@ -264,6 +448,44 @@ let test_mailbox_timeout_then_message_not_lost () =
   Alcotest.(check (option int)) "first timed out" None !first;
   Alcotest.(check (option int)) "second got message" (Some 7) !second
 
+(* Timed-out waiters must be reclaimed eagerly, not parked until the
+   next send. *)
+let test_mailbox_timeout_reclaims_waiters () =
+  let engine = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create engine in
+  ignore
+    (Fiber.spawn engine (fun () ->
+         for _ = 1 to 100 do
+           ignore (Mailbox.recv ~timeout:0.001 mb)
+         done));
+  Engine.run engine;
+  Alcotest.(check int) "no waiters parked" 0 (Mailbox.waiting mb);
+  (* a send after the churn must queue, not vanish into a dead waiter *)
+  Mailbox.send mb 9;
+  Alcotest.(check int) "message queued" 1 (Mailbox.length mb)
+
+(* A cancelled receiver must not swallow a later message. *)
+let test_mailbox_cancelled_recv_not_lost () =
+  let engine = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create engine in
+  let got = ref None in
+  let victim = Fiber.spawn engine (fun () -> ignore (Mailbox.recv mb)) in
+  ignore
+    (Fiber.spawn engine (fun () ->
+         Fiber.sleep 1.0;
+         Fiber.cancel victim;
+         (* the cancellation lands via a zero-delay event; check after *)
+         Fiber.sleep 0.2;
+         Alcotest.(check int) "victim's waiter retired" 0 (Mailbox.waiting mb);
+         Fiber.sleep 0.8;
+         Mailbox.send mb 42));
+  ignore
+    (Fiber.spawn engine (fun () ->
+         Fiber.sleep 1.5;
+         got := Mailbox.recv mb));
+  Engine.run engine;
+  Alcotest.(check (option int)) "message reached the live receiver" (Some 42) !got
+
 let test_condition_signal_broadcast () =
   let engine = Engine.create () in
   let cond = Condition.create () in
@@ -307,10 +529,10 @@ let prop_fiber_sleep_monotone =
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "circus_sim"
-    [ ( "heap",
-        [ Alcotest.test_case "ordering" `Quick test_heap_ordering;
-          Alcotest.test_case "empty" `Quick test_heap_empty ]
-        @ qcheck [ prop_heap_sorts ] );
+    [ ( "event-heap",
+        [ Alcotest.test_case "ordering" `Quick test_event_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_event_heap_empty ]
+        @ qcheck [ prop_event_heap_sorts ] );
       ( "prng",
         [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "split advances" `Quick test_prng_split_independent;
@@ -320,7 +542,13 @@ let () =
         [ Alcotest.test_case "event order" `Quick test_engine_event_order;
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "until" `Quick test_engine_until;
-          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule ] );
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "ready-queue vs heap ties" `Quick
+            test_engine_ready_queue_vs_heap_ties;
+          Alcotest.test_case "zero-delay fifo" `Quick test_engine_zero_delay_fifo;
+          Alcotest.test_case "cancel ready event" `Quick test_engine_cancel_ready_event;
+          Alcotest.test_case "mass cancel compacts" `Quick test_engine_mass_cancel_compacts ]
+        @ qcheck [ prop_engine_matches_reference_model ] );
       ( "fiber",
         [ Alcotest.test_case "sleep" `Quick test_fiber_sleep;
           Alcotest.test_case "interleave" `Quick test_fiber_interleave;
@@ -335,5 +563,9 @@ let () =
           Alcotest.test_case "mailbox timeout" `Quick test_mailbox_timeout;
           Alcotest.test_case "mailbox message after timeout" `Quick
             test_mailbox_timeout_then_message_not_lost;
+          Alcotest.test_case "mailbox timeout reclaims waiters" `Quick
+            test_mailbox_timeout_reclaims_waiters;
+          Alcotest.test_case "mailbox cancelled recv not lost" `Quick
+            test_mailbox_cancelled_recv_not_lost;
           Alcotest.test_case "condition signal+broadcast" `Quick test_condition_signal_broadcast;
           Alcotest.test_case "condition timeout" `Quick test_condition_timeout ] ) ]
