@@ -10,7 +10,12 @@
    whole run and export it in Chrome trace_event format: open the file
    at https://ui.perfetto.dev (or about://tracing) to see fibers,
    datagrams, RPC spans and the crash on a timeline.
-   [--trace-jsonl FILE.jsonl] writes the line-oriented form instead. *)
+   [--trace-jsonl FILE.jsonl] writes the line-oriented form instead.
+
+   Pass [--chaos SEED] to replace the scripted crash with a seeded
+   random fault schedule (crash/restart, partitions, loss, duplication,
+   delay and corruption bursts) from {!Circus_fault}.  Equal seeds
+   replay the identical chaos episode. *)
 
 open Circus_sim
 open Circus_net
@@ -53,13 +58,8 @@ let flag_value name =
   in
   scan (Array.to_list Sys.argv)
 
-let () =
-  let trace_chrome = flag_value "--trace" in
-  let trace_jsonl = flag_value "--trace-jsonl" in
-  let sys = System.create ~seed:2026 () in
-  if trace_chrome <> None || trace_jsonl <> None then ignore (System.enable_tracing sys);
-  let members = List.init 3 (start_member sys) in
-  (* Crash one replica at t = 2s; the program must not notice. *)
+(* The original demo: one scripted crash at t = 2s. *)
+let scripted_crash sys members =
   let victim = List.nth members 1 in
   ignore
     (Engine.schedule (System.engine sys) ~delay:2.0 (fun () ->
@@ -77,7 +77,59 @@ let () =
          | Some v -> Printf.printf "[%6.3fs] client read role=%s (after a member crash)\n" (System.now sys) v
          | None -> Printf.printf "[%6.3fs] lost the value!\n" (System.now sys));
          Service.call client ctx ~service:"kv" put ("status", "still-available");
-         Printf.printf "[%6.3fs] client wrote status=still-available\n" (System.now sys)));
+         Printf.printf "[%6.3fs] client wrote status=still-available\n" (System.now sys)))
+
+(* [--chaos SEED]: a seeded random fault schedule instead.  The client
+   tolerates individual write failures — the point is that whatever the
+   schedule does, equal seeds replay it exactly. *)
+let chaos_run sys members seed =
+  let horizon = 12.0 in
+  let victims = List.map (fun (p : System.process) -> Host.id p.System.host) members in
+  let ringmasters =
+    List.map
+      (fun (a : Addr.t) -> a.Addr.host)
+      (Circus_rpc.Troupe.member_processes (System.ringmaster sys))
+  in
+  let client = System.process sys ~name:"client" () in
+  let others = Host.id client.System.host :: ringmasters in
+  let plan = Circus_fault.random_plan ~seed ~victims ~others ~horizon () in
+  Format.printf "chaos plan (seed %d):@.%a@." seed Circus_fault.Plan.pp plan;
+  Circus_fault.inject (System.net sys) plan;
+  ignore
+    (System.spawn client (fun ctx ->
+         Fiber.sleep 0.5;
+         let puts = 10 in
+         let ok = ref 0 in
+         for i = 1 to puts do
+           let k = Printf.sprintf "key%d" (i mod 3) in
+           let v = Printf.sprintf "w%02d" i in
+           (match Service.call client ctx ~service:"kv" put (k, v) with
+           | () ->
+             incr ok;
+             Printf.printf "[%6.3fs] put %s=%s ok\n" (System.now sys) k v
+           | exception Fiber.Cancelled -> raise Fiber.Cancelled
+           | exception e ->
+             Printf.printf "[%6.3fs] put %s=%s FAILED (%s)\n" (System.now sys) k v
+               (Printexc.to_string e));
+           Fiber.sleep (horizon /. float_of_int puts)
+         done;
+         (match Service.call client ctx ~service:"kv" get "key1" with
+         | Some v -> Printf.printf "[%6.3fs] final read key1=%s\n" (System.now sys) v
+         | None -> Printf.printf "[%6.3fs] final read key1=<absent>\n" (System.now sys)
+         | exception _ -> Printf.printf "[%6.3fs] final read failed\n" (System.now sys));
+         Printf.printf "[%6.3fs] chaos run done: %d/%d writes landed\n" (System.now sys) !ok
+           puts))
+
+let () =
+  let trace_chrome = flag_value "--trace" in
+  let trace_jsonl = flag_value "--trace-jsonl" in
+  let chaos_seed = Option.map int_of_string (flag_value "--chaos") in
+  let sys = System.create ~seed:2026 () in
+  if trace_chrome <> None || trace_jsonl <> None then ignore (System.enable_tracing sys);
+  let members = List.init 3 (start_member sys) in
+  (match chaos_seed with
+  | None -> scripted_crash sys members
+  | Some seed -> chaos_run sys members seed);
   System.run sys;
   (match trace_chrome with
   | Some path ->

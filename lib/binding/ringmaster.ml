@@ -46,7 +46,10 @@ let push_troupe_id ctx (troupe : Troupe.t) =
 
 let register registry ctx name (troupe : Troupe.t) =
   let id = registry.fresh_id () in
-  let renamed = { troupe with Troupe.id = id } in
+  let renamed =
+    { Troupe.id = id;
+      members = List.sort Addr.compare_module troupe.Troupe.members }
+  in
   Hashtbl.replace registry.table name renamed;
   push_troupe_id ctx renamed;
   id
@@ -61,6 +64,16 @@ let change_members registry ctx name transform =
     Hashtbl.remove registry.table name;
     None
   | members ->
+    (* Canonical member order.  The registry is itself replicated, and
+       one-to-many calls from *different* clients carry no cross-client
+       ordering guarantee: two concurrent joins can reach the registry
+       replicas in opposite orders.  Keeping the member list sorted
+       makes add/remove commute — every replica converges on the same
+       troupe bytes regardless of arrival order, so the unanimous
+       collation of later lookups cannot diverge permanently.  (The id
+       counter already commutes: it advances once per change at every
+       replica.) *)
+    let members = List.sort Addr.compare_module members in
     let id = registry.fresh_id () in
     let troupe = Troupe.make ~id ~members in
     Hashtbl.replace registry.table name troupe;

@@ -1,0 +1,58 @@
+module Trace = Circus_trace.Trace
+module Tev = Circus_trace.Event
+
+type violation = { subject : string; detail : string }
+
+let pp_violation ppf v = Fmt.pf ppf "%s: %s" v.subject v.detail
+
+let exactly_once counts =
+  List.filter_map
+    (fun (call, count) ->
+      if count = 1 then None
+      else Some { subject = call; detail = Printf.sprintf "executed %d times" count })
+    counts
+
+let all_equal ~label = function
+  | [] | [ _ ] -> []
+  | (first_member, first_repr) :: rest ->
+    List.filter_map
+      (fun (member, repr) ->
+        if String.equal repr first_repr then None
+        else
+          Some
+            { subject = Printf.sprintf "%s/%s" label member;
+              detail =
+                Printf.sprintf "state %S differs from %s's %S" repr first_member first_repr })
+      rest
+
+let agree_on ~keys ~show ~members =
+  List.concat_map
+    (fun key ->
+      let views = List.map (fun (name, lookup) -> (name, lookup key)) members in
+      match List.find_opt (fun (_, v) -> v <> None) views with
+      | None -> []  (* nobody has it: trivially agreed *)
+      | Some (ref_name, ref_value) ->
+        List.filter_map
+          (fun (name, value) ->
+            if name = ref_name || value = ref_value then None
+            else
+              Some
+                { subject = Printf.sprintf "key %s @ %s" (show key) name;
+                  detail =
+                    Printf.sprintf "%s vs %s's %s"
+                      (match value with Some v -> Printf.sprintf "%S" v | None -> "missing")
+                      ref_name
+                      (match ref_value with
+                      | Some v -> Printf.sprintf "%S" v
+                      | None -> "missing") })
+          views)
+    keys
+
+let report violations =
+  if Trace.on () then
+    List.iter
+      (fun v ->
+        Trace.emit ~cat:"fault"
+          ~args:[ ("subject", Tev.Str v.subject); ("detail", Tev.Str v.detail) ]
+          "violation")
+      violations

@@ -1,0 +1,17 @@
+(** Deterministic fault injection for chaos experiments.
+
+    - {!Plan}: the chaos-schedule DSL and its seeded generator;
+    - {!Injector}: executes a plan as engine events, logging every
+      applied fault through the trace subsystem;
+    - {!Check}: post-run replica-consistency and exactly-once checkers.
+
+    Equal seeds give equal plans; equal plans on a deterministic
+    simulation give byte-identical fault traces. *)
+
+module Plan = Plan
+module Injector = Injector
+module Check = Check
+
+let random_plan = Plan.random
+let inject = Injector.inject
+let fault_trace_lines = Injector.fault_trace_lines

@@ -1,0 +1,120 @@
+open Circus_sim
+open Circus_net
+module Trace = Circus_trace.Trace
+module Tev = Circus_trace.Event
+
+let emit ?host name args = if Trace.on () then Trace.emit ~cat:"fault" ?host ~args name
+
+(* One epoch counter per burst kind: a burst's expiry event only clears
+   the knob if no later burst of the same kind has been applied since
+   (mirrors the partition-episode epoch inside [Net]). *)
+type kind_state = { mutable epoch : int }
+
+let burst state (set : float -> unit) ~at ~duration ~rate ~engine ~name ~arg_name =
+  state.epoch <- state.epoch + 1;
+  let epoch = state.epoch in
+  set rate;
+  emit name [ (arg_name, Tev.Float rate); ("duration", Tev.Float duration) ];
+  ignore
+    (Engine.schedule_abs engine ~at:(at +. duration) (fun () ->
+         if state.epoch = epoch then begin
+           set 0.0;
+           emit (name ^ "_end") []
+         end))
+
+let inject net plan =
+  (match Plan.validate plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Injector.inject: " ^ msg));
+  let engine = Net.engine net in
+  let loss = { epoch = 0 } in
+  let dup = { epoch = 0 } in
+  let delay = { epoch = 0 } in
+  let corrupt = { epoch = 0 } in
+  List.iter
+    (fun { Plan.at; action } ->
+      ignore
+        (Engine.schedule_abs engine ~at (fun () ->
+             match action with
+             | Plan.Crash h ->
+               emit ~host:h "crash" [];
+               Host.crash (Net.host net h)
+             | Plan.Restart h ->
+               emit ~host:h "restart" [];
+               Host.restart (Net.host net h)
+             | Plan.Partition { groups; duration } ->
+               emit "partition"
+                 [ ("groups", Tev.Int (List.length groups));
+                   ("isolated",
+                     Tev.Str
+                       (String.concat ","
+                          (match groups with
+                          | [ _; minority ] -> List.map string_of_int minority
+                          | _ -> [])));
+                   ("duration", Tev.Float duration) ];
+               Net.set_partition_for net groups ~duration
+             | Plan.Heal ->
+               emit "heal" [];
+               Net.heal_partition net
+             | Plan.Loss_burst { rate; duration } ->
+               burst loss (Net.set_extra_loss net) ~at ~duration ~rate ~engine
+                 ~name:"loss_burst" ~arg_name:"rate"
+             | Plan.Dup_burst { rate; duration } ->
+               burst dup (Net.set_extra_duplication net) ~at ~duration ~rate ~engine
+                 ~name:"dup_burst" ~arg_name:"rate"
+             | Plan.Delay_burst { extra_mean; duration } ->
+               burst delay (Net.set_extra_delay_mean net) ~at ~duration ~rate:extra_mean
+                 ~engine ~name:"delay_burst" ~arg_name:"extra_mean"
+             | Plan.Corrupt_burst { rate; duration } ->
+               burst corrupt (Net.set_corrupt_rate net) ~at ~duration ~rate ~engine
+                 ~name:"corrupt_burst" ~arg_name:"rate")))
+    plan
+
+(* ------------------------------------------------------------------ *)
+(* Fault-trace rendering *)
+
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_arg_value b = function
+  | Tev.Int i -> Buffer.add_string b (string_of_int i)
+  | Tev.I32 i -> Buffer.add_string b (Int32.to_string i)
+  | Tev.I64 i -> Buffer.add_string b (Int64.to_string i)
+  | Tev.Float f -> Buffer.add_string b (Tev.float_repr f)
+  | Tev.Str s -> add_json_string b s
+  | Tev.Bool v -> Buffer.add_string b (if v then "true" else "false")
+
+let render_line (e : Tev.t) =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"t\":";
+  Buffer.add_string b (Tev.float_repr e.Tev.time);
+  Buffer.add_string b ",\"name\":";
+  add_json_string b e.Tev.name;
+  Buffer.add_string b (Printf.sprintf ",\"host\":%d" e.Tev.host);
+  if e.Tev.args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        add_json_string b k;
+        Buffer.add_char b ':';
+        add_arg_value b v)
+      e.Tev.args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let fault_trace_lines () =
+  Trace.events ()
+  |> List.filter (fun (e : Tev.t) -> e.Tev.cat = "fault")
+  |> List.map render_line

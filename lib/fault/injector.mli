@@ -1,0 +1,25 @@
+(** Execute a {!Plan.t} against a simulated network.
+
+    Every step is scheduled as an engine event at its plan time.  Crash
+    and restart go through {!Circus_net.Host.crash} /
+    {!Circus_net.Host.restart} — application-level recovery (re-binding
+    with a fresh incarnation, state transfer) rides on the host's
+    {!Circus_net.Host.on_restart} boot hooks, so the injector needs no
+    knowledge of what a host runs.  Partition steps use the network's
+    time-bounded episodes; bursts set the corresponding transient fault
+    knob and restore it when the burst expires, unless a later burst of
+    the same kind superseded it.
+
+    Every applied step (and every burst expiry) emits a [cat:"fault"]
+    event through {!Circus_trace.Trace}, so a traced run yields a
+    deterministic fault log: equal seeds, byte-identical fault traces. *)
+
+val inject : Circus_net.Net.t -> Plan.t -> unit
+(** Schedule the whole plan.  Raises [Invalid_argument] if
+    {!Plan.validate} rejects it. *)
+
+val fault_trace_lines : unit -> string list
+(** The [cat:"fault"] events of the active trace sink, rendered one
+    compact JSON object per line ([t], [name], [host], [args]) with the
+    deterministic float formatting of {!Circus_trace.Event.float_repr}.
+    Empty when tracing is off. *)

@@ -18,6 +18,11 @@ type t = {
   mutable cpu_total : float;
   mutable fibers : Fiber.t list;
   mutable crash_hooks : (unit -> unit) list;
+  (* Unlike [crash_hooks] these persist across crashes: they model the
+     machine's boot script (init, rc.local) rather than volatile state,
+     so a fault injector can bounce a host and have its services come
+     back without the injector knowing what the host was running. *)
+  mutable restart_hooks : (unit -> unit) list;
 }
 
 let create engine ~id ?name ?(clock_offset = 0.0) ?(attributes = []) () =
@@ -32,7 +37,8 @@ let create engine ~id ?name ?(clock_offset = 0.0) ?(attributes = []) () =
     cpu_busy_until = 0.0;
     cpu_total = 0.0;
     fibers = [];
-    crash_hooks = [] }
+    crash_hooks = [];
+    restart_hooks = [] }
 
 let id t = t.id
 let name t = t.name
@@ -78,10 +84,14 @@ let restart t =
         "restart";
     t.alive <- true;
     t.incarnation <- t.incarnation + 1;
-    t.cpu_busy_until <- Engine.now t.engine
+    t.cpu_busy_until <- Engine.now t.engine;
+    (* Boot scripts run oldest-first so services restart in the order
+       they were originally registered. *)
+    List.iter (fun hook -> hook ()) (List.rev t.restart_hooks)
   end
 
 let on_crash t hook = if t.alive then t.crash_hooks <- hook :: t.crash_hooks
+let on_restart t hook = t.restart_hooks <- hook :: t.restart_hooks
 
 let gettimeofday t = Engine.now t.engine +. t.clock_offset
 

@@ -46,6 +46,14 @@ val on_crash : t -> (unit -> unit) -> unit
 (** Register a hook run when the host crashes (e.g. to close its
     network ports). *)
 
+val on_restart : t -> (unit -> unit) -> unit
+(** Register a persistent "boot script" run every time the host is
+    {!restart}ed (after [is_alive] is true and the incarnation has been
+    bumped).  Unlike {!on_crash} hooks these survive crashes — they
+    model what the machine does on boot, letting a fault injector bounce
+    a host without knowing what services it was running.  Hooks run
+    oldest-first. *)
+
 val gettimeofday : t -> float
 (** Local clock: engine time plus this host's constant offset.  The
     synchronized-clocks assumption of §5.4 holds when offsets are

@@ -36,7 +36,20 @@ type stats = {
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
+  mutable corrupted : int;
   mutable bytes_sent : int;
+}
+
+(* Transient fault knobs layered on top of [params] by the fault
+   injector ({!Circus_fault}).  All zero by default; every knob is
+   strictly gated on [> 0.0] before touching the PRNG so that a
+   zero-fault run draws exactly the same stream as a build without this
+   record — equal seeds stay byte-identical. *)
+type faults = {
+  mutable extra_loss : float;
+  mutable extra_duplication : float;
+  mutable extra_delay_mean : float;
+  mutable corrupt_rate : float;
 }
 
 (* Partition state, precomputed for the per-datagram [reachable] test.
@@ -65,6 +78,13 @@ type t = {
   ports : (Addr.host_id * int, socket) Hashtbl.t;
   ephemeral : (Addr.host_id, int ref) Hashtbl.t;
   mutable partition : partition;
+  (* Generation counter for time-bounded partitions: every
+     [set_partition]/[heal_partition] bumps it, and the timer that
+     auto-heals a [set_partition_for] episode only fires if the epoch is
+     still the one it captured — a newer partition or an explicit heal
+     wins over a stale episode's expiry. *)
+  mutable partition_epoch : int;
+  faults : faults;
   stats : stats;
 }
 
@@ -77,7 +97,11 @@ let create engine ?(params = default_params) () =
     ports = Hashtbl.create 64;
     ephemeral = Hashtbl.create 16;
     partition = No_partition;
-    stats = { sent = 0; delivered = 0; dropped = 0; duplicated = 0; bytes_sent = 0 } }
+    partition_epoch = 0;
+    faults =
+      { extra_loss = 0.0; extra_duplication = 0.0; extra_delay_mean = 0.0; corrupt_rate = 0.0 };
+    stats =
+      { sent = 0; delivered = 0; dropped = 0; duplicated = 0; corrupted = 0; bytes_sent = 0 } }
 
 let engine t = t.engine
 let params t = t.params
@@ -147,6 +171,7 @@ let set_partition t groups =
     Trace.emit ~cat:"net"
       ~args:[ ("groups", Tev.Int (List.length groups)) ]
       "partition";
+  t.partition_epoch <- t.partition_epoch + 1;
   let n_groups = List.length groups in
   if n_groups >= Sys.int_size - 1 then t.partition <- Groups groups
   else begin
@@ -166,7 +191,17 @@ let set_partition t groups =
 
 let heal_partition t =
   if Trace.on () then Trace.emit ~cat:"net" "heal";
+  t.partition_epoch <- t.partition_epoch + 1;
   t.partition <- No_partition
+
+let set_partition_for t groups ~duration =
+  if duration <= 0.0 then invalid_arg "Net.set_partition_for: duration must be positive";
+  set_partition t groups;
+  let epoch = t.partition_epoch in
+  ignore
+    (Engine.schedule t.engine ~delay:duration (fun () ->
+         (* Only heal if nobody re-partitioned or healed in between. *)
+         if t.partition_epoch = epoch then heal_partition t))
 
 let reachable t a b =
   match t.partition with
@@ -186,7 +221,33 @@ let reset_stats t =
   t.stats.delivered <- 0;
   t.stats.dropped <- 0;
   t.stats.duplicated <- 0;
+  t.stats.corrupted <- 0;
   t.stats.bytes_sent <- 0
+
+(* {2 Transient fault knobs} *)
+
+let clamp_rate name r =
+  if r < 0.0 || r > 1.0 then invalid_arg (Printf.sprintf "Net.%s: rate out of [0,1]" name);
+  r
+
+let set_extra_loss t r = t.faults.extra_loss <- clamp_rate "set_extra_loss" r
+let set_extra_duplication t r = t.faults.extra_duplication <- clamp_rate "set_extra_duplication" r
+
+let set_extra_delay_mean t m =
+  if m < 0.0 then invalid_arg "Net.set_extra_delay_mean: negative mean";
+  t.faults.extra_delay_mean <- m
+
+let set_corrupt_rate t r = t.faults.corrupt_rate <- clamp_rate "set_corrupt_rate" r
+let extra_loss t = t.faults.extra_loss
+let extra_duplication t = t.faults.extra_duplication
+let extra_delay_mean t = t.faults.extra_delay_mean
+let corrupt_rate t = t.faults.corrupt_rate
+
+let clear_faults t =
+  t.faults.extra_loss <- 0.0;
+  t.faults.extra_duplication <- 0.0;
+  t.faults.extra_delay_mean <- 0.0;
+  t.faults.corrupt_rate <- 0.0
 
 (* Datagram lifecycle events share one argument shape so trace
    assertions can follow a packet across send/dup/drop/deliver. *)
@@ -229,6 +290,16 @@ let transit_delay t len =
   +. (t.params.per_byte *. float_of_int len)
   +. Prng.exponential t.prng ~mean:t.params.jitter_mean
 
+(* A corrupted copy is discarded at the receiving stack.  The paper's
+   protocols run over checksummed UDP, and this layer models the
+   datagram service from below that checksum: in-flight bit rot is
+   detected on receipt and the datagram thrown away, so end-to-end it
+   manifests as loss — but with its own cause in the stats and trace,
+   and drawn per delivered copy (after duplication), not per send. *)
+let corrupt_copy t (dgram : datagram) =
+  t.stats.corrupted <- t.stats.corrupted + 1;
+  trace_dgram t "corrupt" ~dgram ~reason:(Some "checksum")
+
 let send_one t dgram =
   let len = Bytes.length dgram.payload in
   trace_dgram t "send" ~dgram ~reason:None;
@@ -237,17 +308,34 @@ let send_one t dgram =
     trace_dgram t "drop" ~dgram ~reason:(Some "partition")
   end
   else begin
-    let copies = if Prng.bool t.prng ~p:t.params.duplication then 2 else 1 in
+    (* One draw per decision regardless of the fault knobs: the knobs
+       fold into the probability of the draw that already happens, and
+       knob-only draws (corruption, extra delay) are gated on the knob
+       being nonzero.  Zero-fault runs therefore consume the PRNG stream
+       exactly as before — the byte-identical-trace oracle holds. *)
+    let p_dup = Float.min 1.0 (t.params.duplication +. t.faults.extra_duplication) in
+    let copies = if Prng.bool t.prng ~p:p_dup then 2 else 1 in
     if copies = 2 then begin
       t.stats.duplicated <- t.stats.duplicated + 1;
       trace_dgram t "dup" ~dgram ~reason:None
     end;
+    let p_loss = Float.min 1.0 (t.params.loss +. t.faults.extra_loss) in
     for _ = 1 to copies do
-      if Prng.bool t.prng ~p:t.params.loss then begin
+      if Prng.bool t.prng ~p:p_loss then begin
         t.stats.dropped <- t.stats.dropped + 1;
         trace_dgram t "drop" ~dgram ~reason:(Some "loss")
       end
-      else deliver_copy t dgram (transit_delay t len)
+      else if t.faults.corrupt_rate > 0.0 && Prng.bool t.prng ~p:t.faults.corrupt_rate then
+        corrupt_copy t dgram
+      else begin
+        let delay = transit_delay t len in
+        let delay =
+          if t.faults.extra_delay_mean > 0.0 then
+            delay +. Prng.exponential t.prng ~mean:t.faults.extra_delay_mean
+          else delay
+        in
+        deliver_copy t dgram delay
+      end
     done
   end
 

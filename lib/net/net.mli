@@ -85,9 +85,53 @@ val set_partition : t -> Addr.host_id list list -> unit
 
 val heal_partition : t -> unit
 
+val set_partition_for : t -> Addr.host_id list list -> duration:float -> unit
+(** Time-bounded partition episode: {!set_partition} now, auto-heal
+    after [duration] simulated seconds — unless a newer
+    {!set_partition}/{!heal_partition} intervened, in which case the
+    stale episode's expiry is a no-op.  Raises [Invalid_argument] on a
+    non-positive duration. *)
+
 val reachable : t -> Addr.host_id -> Addr.host_id -> bool
 (** O(1): {!set_partition} precomputes a per-host bitmask of group
     memberships, so the per-datagram test is one [land]. *)
+
+(** {2 Transient fault knobs}
+
+    Extra unreliability layered on top of {!params} by the fault
+    injector ({!module:Circus_fault}).  All default to zero; crucially,
+    the data plane only touches its PRNG for a knob when that knob is
+    strictly positive, so a zero-fault run consumes exactly the same
+    random stream as before these knobs existed — equal seeds keep
+    producing byte-identical traces. *)
+
+val set_extra_loss : t -> float -> unit
+(** Additional per-copy drop probability (added to [params.loss],
+    clamped to 1).  Raises [Invalid_argument] outside [0,1]. *)
+
+val set_extra_duplication : t -> float -> unit
+(** Additional per-datagram duplication probability. *)
+
+val set_extra_delay_mean : t -> float -> unit
+(** Mean of an extra exponential delay added to every delivered copy
+    (0 disables; no PRNG draw when disabled). *)
+
+val set_corrupt_rate : t -> float -> unit
+(** Per-delivered-copy probability that in-flight bit rot garbles the
+    datagram.  This layer models the datagram service from below the
+    UDP checksum, so the receiving stack detects the damage and
+    discards the copy: end-to-end, corruption manifests as loss — but
+    counted under [stats.corrupted] rather than [dropped], drawn after
+    duplication so each copy fails independently. *)
+
+val extra_loss : t -> float
+val extra_duplication : t -> float
+val extra_delay_mean : t -> float
+val corrupt_rate : t -> float
+
+val clear_faults : t -> unit
+(** Reset every fault knob to zero (partitions are separate: use
+    {!heal_partition}). *)
 
 (** {1 Statistics} *)
 
@@ -96,6 +140,7 @@ type stats = {
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
+  mutable corrupted : int;
   mutable bytes_sent : int;
 }
 

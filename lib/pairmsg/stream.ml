@@ -8,6 +8,15 @@ module Tev = Circus_trace.Event
 
 let rto = 0.05
 
+(* Retransmission backs off exponentially from [rto] to [rto_max]: a
+   constant-rate retransmit under a loss burst floods the network with
+   copies of the same chunk and keeps colliding with the burst.  The
+   FIRST wait of every chunk (and of every handshake) still uses the
+   base [rto], so a loss-free run behaves exactly as before — the
+   Table 4.1 smoke fixture stays byte-identical. *)
+let rto_max = 0.8
+let backoff rto_now = Float.min rto_max (2.0 *. rto_now)
+
 type conn = {
   env : Syscall.env;
   host : Host.t;
@@ -131,25 +140,28 @@ let send conn body =
     conn.send_seq <- Int32.add conn.send_seq 1l;
     let seq = conn.send_seq in
     let fr = frame ~kind:3 ~seq ~last:(i = chunks - 1) payload in
-    let rec push () =
+    let rec push rto_now =
       Net.send net ~src:(Net.socket_addr conn.sock) ~dst:conn.peer fr;
       (* Kernel-managed retransmission: wait for the cumulative ack. *)
       let rec await () =
         if Int32.compare conn.acked seq < 0 && not conn.closed then
-          match Condition.await_timeout (Host.engine conn.host) conn.ack_cond rto with
+          match Condition.await_timeout (Host.engine conn.host) conn.ack_cond rto_now with
           | `Signalled -> await ()
           | `Timeout ->
             if Trace.on () then begin
               Trace.incr "tcp.retransmits";
               Trace.emit ~cat:"tcp" ~host:(Host.id conn.host)
-                ~args:[ ("seq", Tev.I32 seq); ("dst", Tev.Int conn.peer.Addr.host) ]
+                ~args:
+                  [ ("seq", Tev.I32 seq);
+                    ("dst", Tev.Int conn.peer.Addr.host);
+                    ("rto", Tev.Float (backoff rto_now)) ]
                 "retransmit"
             end;
-            push ()
+            push (backoff rto_now)
       in
       await ()
     in
-    push ()
+    push rto
   done
 
 let recv ?timeout conn =
@@ -213,20 +225,20 @@ let connect env host ?meter ~dst () =
   let net = Syscall.net env in
   let sock = Net.udp_bind net host () in
   let syn = frame ~kind:0 Bytes.empty in
-  let rec handshake tries =
+  let rec handshake tries rto_now =
     if tries = 0 then begin
       Net.close sock;
       failwith "Stream.connect: no answer"
     end;
     Net.send net ~src:(Net.socket_addr sock) ~dst syn;
-    match Mailbox.recv ~timeout:rto (Net.mailbox sock) with
+    match Mailbox.recv ~timeout:rto_now (Net.mailbox sock) with
     | Some dgram -> (
       match parse dgram.Net.payload with
       | Some (1, _, _, port, _) -> Addr.make ~host:dst.Addr.host ~port
-      | Some _ | None -> handshake (tries - 1))
-    | None -> handshake (tries - 1)
+      | Some _ | None -> handshake (tries - 1) (backoff rto_now))
+    | None -> handshake (tries - 1) (backoff rto_now)
   in
-  let peer = handshake 20 in
+  let peer = handshake 20 rto in
   if Trace.on () then
     Trace.emit ~cat:"tcp" ~host:(Host.id host) ~args:[ ("peer", Tev.Int peer.Addr.host) ] "connect";
   let conn = make_conn env host sock peer in

@@ -19,14 +19,23 @@ let client env host ~dst ?meter () =
 
 let client_meter c = c.meter
 
-let rec echo c ?(timeout = 1.0) payload =
-  (* The test program's own user-mode work (loop, buffer handling):
-     0.8 ms per call in the paper's measurement (Table 4.1). *)
-  Syscall.compute c.env ~meter:c.meter c.host 0.8e-3;
-  Syscall.sendmsg c.env ~meter:c.meter c.sock ~dst:c.dst payload;
-  Syscall.setitimer c.env ~meter:c.meter c.host;  (* alarm(timeout) *)
-  let answer = Syscall.recvmsg c.env ~meter:c.meter ~timeout c.sock in
-  Syscall.setitimer c.env ~meter:c.meter c.host;  (* alarm(0) *)
-  match answer with
-  | Some dgram -> dgram.Net.payload
-  | None -> echo c ~timeout payload
+exception Echo_timeout of Addr.t
+
+let echo c ?(timeout = 1.0) ?(max_retries = 10) payload =
+  if max_retries < 0 then invalid_arg "Udp_echo.echo: negative max_retries";
+  let rec attempt retries_left =
+    (* The test program's own user-mode work (loop, buffer handling):
+       0.8 ms per call in the paper's measurement (Table 4.1). *)
+    Syscall.compute c.env ~meter:c.meter c.host 0.8e-3;
+    Syscall.sendmsg c.env ~meter:c.meter c.sock ~dst:c.dst payload;
+    Syscall.setitimer c.env ~meter:c.meter c.host;  (* alarm(timeout) *)
+    let answer = Syscall.recvmsg c.env ~meter:c.meter ~timeout c.sock in
+    Syscall.setitimer c.env ~meter:c.meter c.host;  (* alarm(0) *)
+    match answer with
+    | Some dgram -> dgram.Net.payload
+    | None ->
+      (* Bounded retry: under a partition the unbounded loop of the
+         original figure livelocks the client fiber forever. *)
+      if retries_left = 0 then raise (Echo_timeout c.dst) else attempt (retries_left - 1)
+  in
+  attempt max_retries

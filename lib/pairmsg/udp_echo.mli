@@ -16,6 +16,13 @@ type client
 val client : Syscall.env -> Host.t -> dst:Addr.t -> ?meter:Meter.t -> unit -> client
 val client_meter : client -> Meter.t
 
-val echo : client -> ?timeout:float -> bytes -> bytes
-(** One datagram exchange, retried on timeout.  Must run in a fiber on
-    the client's host. *)
+exception Echo_timeout of Addr.t
+(** The destination never answered within the retry budget. *)
+
+val echo : client -> ?timeout:float -> ?max_retries:int -> bytes -> bytes
+(** One datagram exchange, retried on timeout (the paper's alarm-driven
+    retry) at most [max_retries] additional times (default 10 — the
+    same give-up budget as the paired-message protocol's retransmit
+    limit).  Raises {!Echo_timeout} on exhaustion: under a partition an
+    unbounded retry loop would livelock the client fiber forever.  Must
+    run in a fiber on the client's host. *)

@@ -99,6 +99,7 @@ let host t = t.host
 let addr t = Endpoint.addr t.endpoint
 let close t = Endpoint.close t.endpoint
 let thread_id ctx = ctx.thread
+let call_tag ctx = ctx.tag
 let runtime ctx = ctx.rt
 let set_self_troupe t id = t.self_troupe <- id
 let set_self_troupe_follows t module_no = t.self_troupe_module <- module_no
@@ -150,10 +151,23 @@ let reply_waiters t m2o msg =
    the same thread ID and call sequence number (§4.3.2). *)
 let m2o_key (call : Rpc_msg.call) = (call.Rpc_msg.thread, call.Rpc_msg.seq, call.Rpc_msg.module_no)
 
+(* Cancel the straggler give-up timer and forget the handle.  Called
+   whenever the call leaves [Waiting] (it becomes ready or a retention
+   sweep retires it): without this the timer event leaks in the engine
+   heap for the full [straggler_timeout] and, worse, a fired-but-stale
+   handle later fed to [Engine.cancel] would inflate the heap's
+   cancelled-pending accounting for an event no longer queued. *)
+let cancel_straggler m2o =
+  match m2o.m2o_timer with
+  | Some h ->
+    m2o.m2o_timer <- None;
+    Engine.cancel h
+  | None -> ()
+
 let execute t export m2o =
   if m2o.m2o_state = Waiting then begin
     m2o.m2o_state <- Executing;
-    (match m2o.m2o_timer with Some h -> Engine.cancel h | None -> ());
+    cancel_straggler m2o;
     let call = m2o.m2o_call in
     (* The server process adopts the caller's thread ID for the duration
        of the execution (§3.4.1). *)
@@ -222,6 +236,7 @@ let execute t export m2o =
        answered by the paired message layer's own replay suppression. *)
     ignore
       (Engine.schedule t.engine ~delay:t.config.retention (fun () ->
+           cancel_straggler m2o;
            Hashtbl.remove t.m2o_table (m2o_key call)))
   end
 
@@ -331,6 +346,10 @@ let handle_call t ~src ~pair_no (call : Rpc_msg.call) =
             m2o.m2o_timer <-
               Some
                 (Engine.schedule t.engine ~delay:t.config.straggler_timeout (fun () ->
+                     (* This event just fired: drop the handle so no
+                        later [cancel_straggler] feeds a spent handle to
+                        [Engine.cancel]. *)
+                     m2o.m2o_timer <- None;
                      if m2o.m2o_state = Waiting then
                        ignore
                          (Host.spawn t.host ~label:"rpc.straggler" (fun () ->
@@ -367,17 +386,33 @@ let adopt_export_troupe t ~module_no id =
 (* ------------------------------------------------------------------ *)
 (* Client half: the one-to-many call algorithm (§4.3.1) *)
 
-let spawn_thread t ?label f =
+(* Thread identities must be unique across host incarnations, not just
+   within one runtime: servers key their M2O duplicate-suppression
+   tables by (thread, seq), and a runtime rebuilt after a crash restart
+   resets [thread_counter] and replays the same deterministic call-seq
+   stream.  If the new incarnation reused the old pids, its calls would
+   collide with the dead incarnation's cached entries and be answered
+   with replayed pre-crash results.  Folding the incarnation number into
+   the pid keeps the exactly-once guarantee scoped per incarnation, as
+   the paper's crash model requires.  Incarnations start at 1, so a
+   never-restarted host mints exactly the pids it always did — equal
+   seeds keep producing byte-identical traces on fault-free runs. *)
+let incarnation_stride = 1_000_000
+
+let mint_thread t =
   t.thread_counter <- t.thread_counter + 1;
-  let thread = { Ids.Thread_id.origin = Host.id t.host; pid = t.thread_counter } in
+  { Ids.Thread_id.origin = Host.id t.host;
+    pid = ((Host.incarnation t.host - 1) * incarnation_stride) + t.thread_counter }
+
+let spawn_thread t ?label f =
+  let thread = mint_thread t in
   Host.spawn t.host ?label (fun () -> f { thread; tag = root_tag thread; next_seq = 0; rt = t })
 
 let spawn_thread_as t ~thread ?label f =
   Host.spawn t.host ?label (fun () -> f { thread; tag = root_tag thread; next_seq = 0; rt = t })
 
 let detached_ctx t =
-  t.thread_counter <- t.thread_counter + 1;
-  let thread = { Ids.Thread_id.origin = Host.id t.host; pid = t.thread_counter } in
+  let thread = mint_thread t in
   { thread; tag = root_tag thread; next_seq = 0; rt = t }
 
 let decode_return body =

@@ -69,6 +69,13 @@ val close : t -> unit
 val thread_id : ctx -> Ids.Thread_id.t
 val runtime : ctx -> t
 
+val call_tag : ctx -> int64
+(** Identity of the replicated call this context is executing (0 for a
+    locally-minted base context).  Together with {!thread_id} it names a
+    replicated call uniquely, so a server can count executions per
+    (thread, tag) — the exactly-once invariant checked by the fault
+    harness. *)
+
 val next_call_seq : ctx -> int64
 (** Allocate the per-thread call sequence number the next call would
     carry.  Deterministic client replicas allocate identical values —

@@ -63,6 +63,14 @@ let spawn engine ?(label = "fiber") f =
                 let wake r =
                   if not !fired then begin
                     fired := true;
+                    (* The suspension is being abandoned: let the
+                       suspender unhook itself (retire a queued waiter,
+                       cancel a timer) NOW, in the aborter's context,
+                       not in the deferred resume event.  Otherwise a
+                       [cancel w; signal c] pair inside one engine event
+                       would find the doomed waiter still registered and
+                       deliver the signal to a corpse. *)
+                    (match r with Error _ -> on_abort () | Ok _ -> ());
                     ignore
                       (Engine.schedule engine ~delay:0.0 (fun () ->
                            fiber.state <- Running;
@@ -73,16 +81,7 @@ let spawn engine ?(label = "fiber") f =
                                "resume";
                            match r with
                            | Ok v -> Effect.Deep.continue k v
-                           | Error e ->
-                             (* The suspension is being abandoned: let
-                                the suspender unhook itself (retire a
-                                queued waiter, cancel a timer) before
-                                the exception resumes in the fiber.
-                                Running it here rather than in a
-                                try/with at the suspend site keeps a
-                                trap frame off the hot resume path. *)
-                             on_abort ();
-                             Effect.Deep.discontinue k e))
+                           | Error e -> Effect.Deep.discontinue k e))
                   end
                 in
                 if fiber.cancel_requested then wake (Error Cancelled)

@@ -181,6 +181,24 @@ let test_host_restart_incarnation () =
   Alcotest.(check int) "second" 2 (Host.incarnation h);
   Alcotest.(check bool) "alive" true (Host.is_alive h)
 
+let test_host_restart_hooks_rerun () =
+  let engine = Engine.create () in
+  let net = Net.create engine () in
+  let h = Net.add_host net () in
+  let boots = ref [] in
+  Host.on_restart h (fun () -> boots := (1, Host.incarnation h) :: !boots);
+  Host.on_restart h (fun () -> boots := (2, Host.incarnation h) :: !boots);
+  Host.crash h;
+  Host.restart h;
+  Host.crash h;
+  Host.restart h;
+  (* Boot hooks persist across crashes (unlike crash hooks), run
+     oldest-first, and see the bumped incarnation. *)
+  Alcotest.(check (list (pair int int)))
+    "hooks rerun each restart, in order, after the incarnation bump"
+    [ (1, 2); (2, 2); (1, 3); (2, 3) ]
+    (List.rev !boots)
+
 let test_clock_offset () =
   let engine = Engine.create () in
   let net = Net.create engine () in
@@ -188,6 +206,78 @@ let test_clock_offset () =
   ignore (Engine.schedule engine ~delay:1.0 (fun () -> ()));
   Engine.run engine;
   check_float "skewed clock" 1.25 (Host.gettimeofday h)
+
+(* ------------------------------------------------------------------ *)
+(* Transient fault knobs *)
+
+let test_corruption_discards_at_receiver () =
+  (* The datagram layer sits below the UDP checksum: a corrupted copy
+     is detected on receipt and thrown away, never delivered. *)
+  let engine, net, a, b = make_world () in
+  let sa = Net.udp_bind net a ~port:100 () in
+  let sb = Net.udp_bind net b ~port:200 () in
+  Net.set_corrupt_rate net 1.0;
+  let got = ref None in
+  ignore (Host.spawn b (fun () -> got := Mailbox.recv ~timeout:10.0 (Net.mailbox sb)));
+  ignore
+    (Host.spawn a (fun () ->
+         Net.send net ~src:(Net.socket_addr sa) ~dst:(Net.socket_addr sb)
+           (payload "sixteen-byte-msg")));
+  Engine.run engine;
+  Alcotest.(check bool) "not delivered" true (!got = None);
+  Alcotest.(check int) "corrupted counted" 1 (Net.stats net).Net.corrupted;
+  Alcotest.(check int) "delivered" 0 (Net.stats net).Net.delivered;
+  (* Corruption is its own cause, not folded into plain loss. *)
+  Alcotest.(check int) "not double-counted as loss" 0 (Net.stats net).Net.dropped;
+  Net.clear_faults net;
+  Alcotest.(check (float 0.0)) "knob cleared" 0.0 (Net.corrupt_rate net)
+
+let test_extra_loss_adds_to_base () =
+  let engine, net, a, b = make_world () in
+  let sa = Net.udp_bind net a ~port:100 () in
+  let sb = Net.udp_bind net b ~port:200 () in
+  Net.set_extra_loss net 1.0;
+  ignore
+    (Host.spawn a (fun () ->
+         Net.send net ~src:(Net.socket_addr sa) ~dst:(Net.socket_addr sb) (payload "x")));
+  Engine.run engine;
+  Alcotest.(check int) "dropped by burst" 1 (Net.stats net).Net.dropped;
+  Alcotest.(check int) "nothing delivered" 0 (Net.stats net).Net.delivered
+
+let test_partition_for_auto_heals () =
+  let engine, net, a, b = make_world () in
+  let sa = Net.udp_bind net a ~port:100 () in
+  let sb = Net.udp_bind net b ~port:200 () in
+  Net.set_partition_for net [ [ Host.id a ]; [ Host.id b ] ] ~duration:1.0;
+  let send () =
+    ignore
+      (Host.spawn a (fun () ->
+           Net.send net ~src:(Net.socket_addr sa) ~dst:(Net.socket_addr sb) (payload "x")))
+  in
+  send ();  (* inside the episode: dropped *)
+  ignore (Engine.schedule engine ~delay:2.0 (fun () -> send ()));  (* after auto-heal *)
+  Engine.run engine;
+  Alcotest.(check int) "episode dropped one" 1 (Net.stats net).Net.dropped;
+  Alcotest.(check int) "healed delivery" 1 (Net.stats net).Net.delivered
+
+let test_partition_for_stale_expiry_loses () =
+  let engine, net, a, b = make_world () in
+  let sa = Net.udp_bind net a ~port:100 () in
+  let sb = Net.udp_bind net b ~port:200 () in
+  (* Short episode, then a NEW unbounded partition before the short
+     one's expiry: the stale expiry must not heal the newer partition. *)
+  Net.set_partition_for net [ [ Host.id a ]; [ Host.id b ] ] ~duration:0.5;
+  ignore
+    (Engine.schedule engine ~delay:0.25 (fun () ->
+         Net.set_partition net [ [ Host.id a ]; [ Host.id b ] ]));
+  ignore
+    (Engine.schedule engine ~delay:2.0 (fun () ->
+         ignore
+           (Host.spawn a (fun () ->
+                Net.send net ~src:(Net.socket_addr sa) ~dst:(Net.socket_addr sb) (payload "x")))));
+  Engine.run engine;
+  Alcotest.(check int) "still partitioned after stale expiry" 1 (Net.stats net).Net.dropped;
+  Alcotest.(check int) "not delivered" 0 (Net.stats net).Net.delivered
 
 (* ------------------------------------------------------------------ *)
 (* Syscall layer *)
@@ -264,7 +354,14 @@ let () =
         [ Alcotest.test_case "cpu serializes" `Quick test_host_cpu_serializes;
           Alcotest.test_case "crash kills fibers" `Quick test_host_crash_kills_fibers;
           Alcotest.test_case "restart incarnation" `Quick test_host_restart_incarnation;
+          Alcotest.test_case "restart hooks rerun" `Quick test_host_restart_hooks_rerun;
           Alcotest.test_case "clock offset" `Quick test_clock_offset ] );
+      ( "faults",
+        [ Alcotest.test_case "corruption discards at receiver" `Quick
+            test_corruption_discards_at_receiver;
+          Alcotest.test_case "extra loss adds to base" `Quick test_extra_loss_adds_to_base;
+          Alcotest.test_case "partition episode auto-heals" `Quick test_partition_for_auto_heals;
+          Alcotest.test_case "stale expiry is a no-op" `Quick test_partition_for_stale_expiry_loses ] );
       ( "syscalls",
         [ Alcotest.test_case "costs metered" `Quick test_syscall_costs_metered;
           Alcotest.test_case "recv and select" `Quick test_syscall_recv_and_select;

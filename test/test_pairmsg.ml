@@ -4,6 +4,8 @@
 open Circus_sim
 open Circus_net
 open Circus_pairmsg
+module Trace = Circus_trace.Trace
+module Tev = Circus_trace.Event
 
 (* ------------------------------------------------------------------ *)
 (* Segments *)
@@ -202,6 +204,106 @@ let test_probes_keep_slow_server_alive () =
   in
   Alcotest.(check string) "slow execution succeeds" "slow-answer" answer
 
+(* ------------------------------------------------------------------ *)
+(* Watchdog coverage: crash-detection latency, probe gating, and fiber
+   hygiene (§4.2.3). *)
+
+let arg_is name value (e : Tev.t) =
+  match List.assoc_opt name e.Tev.args with
+  | Some (Tev.Str s) -> String.equal s value
+  | _ -> false
+
+let test_watchdog_crash_within_timeout () =
+  (* A mid-call crash must surface as [Crashed] no later than
+     crash_timeout + one probe interval after the crash instant — the
+     watchdog may only notice at its next tick. *)
+  let w = make_world () in
+  let cfg = Endpoint.default_config in
+  let crash_at = 0.5 in
+  let ep_server = Endpoint.create w.env w.server_host ~port:50 () in
+  Endpoint.set_handler ep_server (fun ~src:_ ~call_no:_ _body -> Fiber.sleep 60.0);
+  ignore (Engine.schedule w.engine ~delay:crash_at (fun () -> Host.crash w.server_host));
+  let detected_at =
+    run_client w (fun () ->
+        let ep = Endpoint.create w.env w.client_host () in
+        match Endpoint.call ep ~dst:(Endpoint.addr ep_server) (Bytes.of_string "x") with
+        | _ -> Alcotest.fail "call unexpectedly replied"
+        | exception Endpoint.Crashed _ -> Engine.now w.engine)
+  in
+  Alcotest.(check bool) "not before the crash" true (detected_at >= crash_at);
+  let deadline = crash_at +. cfg.Endpoint.crash_timeout +. cfg.Endpoint.probe_interval +. 0.1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "detected by %.2f (got %.2f)" deadline detected_at)
+    true
+    (detected_at <= deadline)
+
+let test_probes_only_after_msg_acked () =
+  (* Probes are an execution-phase mechanism: none may be sent before
+     the outgoing call message has been fully acknowledged. *)
+  let w = make_world () in
+  let _sink = Engine.enable_tracing w.engine in
+  Fun.protect ~finally:Trace.stop (fun () ->
+      let ep_server = Endpoint.create w.env w.server_host ~port:50 () in
+      Endpoint.set_handler ep_server (fun ~src ~call_no _body ->
+          Fiber.sleep 5.0;
+          Endpoint.reply ep_server ~dst:src ~call_no (Bytes.of_string "done"));
+      let answer =
+        run_client w (fun () ->
+            let ep = Endpoint.create w.env w.client_host () in
+            Bytes.to_string
+              (Endpoint.call ep ~dst:(Endpoint.addr ep_server) (Bytes.of_string "x")))
+      in
+      Alcotest.(check string) "slow call still answered" "done" answer;
+      Trace.Expect.at_least ~cat:"pairmsg" ~name:"seg_send"
+        ~where:(arg_is "type" "probe") 1;
+      Trace.Expect.ordered
+        ~before:(fun e ->
+          e.Tev.cat = "pairmsg" && e.Tev.name = "msg_acked" && arg_is "type" "call" e)
+        ~after:(fun e ->
+          e.Tev.cat = "pairmsg" && e.Tev.name = "seg_send" && arg_is "type" "probe" e)
+        ())
+
+let test_watchdog_fibers_cancelled () =
+  (* Every watchdog fiber spawned over many calls must terminate once
+     its exchange finishes — no fiber leak. *)
+  let w = make_world () in
+  let _sink = Engine.enable_tracing w.engine in
+  Fun.protect ~finally:Trace.stop (fun () ->
+      let server = echo_server w ~port:50 in
+      let calls = 25 in
+      let ok =
+        run_client w (fun () ->
+            let ep = Endpoint.create w.env w.client_host () in
+            let n = ref 0 in
+            for i = 1 to calls do
+              let body = Bytes.of_string (string_of_int i) in
+              if Endpoint.call ep ~dst:(Endpoint.addr server) body = body then incr n
+            done;
+            !n)
+      in
+      Alcotest.(check int) "all calls echoed" calls ok;
+      let events = Trace.events () in
+      let watchdog_spawns =
+        List.filter
+          (fun (e : Tev.t) ->
+            e.Tev.cat = "fiber" && e.Tev.name = "spawn"
+            && arg_is "label" "pairmsg.watchdog" e)
+          events
+      in
+      Alcotest.(check int) "one watchdog per call" calls (List.length watchdog_spawns);
+      List.iter
+        (fun (spawn : Tev.t) ->
+          let ended =
+            List.exists
+              (fun (e : Tev.t) ->
+                e.Tev.cat = "fiber" && e.Tev.name = "end" && e.Tev.fiber = spawn.Tev.fiber)
+              events
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "watchdog fiber %d terminated" spawn.Tev.fiber)
+            true ended)
+        watchdog_spawns)
+
 let test_no_handler_rejected () =
   let w = make_world () in
   let ep_server = Endpoint.create w.env w.server_host ~port:50 () in
@@ -325,6 +427,25 @@ let test_udp_echo_retries_on_loss () =
   in
   Alcotest.(check string) "eventually echoed" "lossy" answer
 
+let test_udp_echo_gives_up () =
+  (* No server bound: after [max_retries] retransmissions the client
+     must raise rather than hang forever. *)
+  let w = make_world () in
+  let outcome =
+    run_client w (fun () ->
+        let c =
+          Udp_echo.client w.env w.client_host
+            ~dst:(Addr.make ~host:(Host.id w.server_host) ~port:7)
+            ()
+        in
+        match Udp_echo.echo c ~timeout:0.05 ~max_retries:3 (Bytes.of_string "void") with
+        | _ -> `Replied
+        | exception Udp_echo.Echo_timeout _ -> `Gave_up)
+  in
+  Alcotest.(check bool) "gave up" true (outcome = `Gave_up);
+  (* 1 initial try + 3 retries, all dropped at the unbound port. *)
+  Alcotest.(check int) "bounded sends" 4 (Net.stats w.net).Net.dropped
+
 (* ------------------------------------------------------------------ *)
 (* TCP-like stream baseline *)
 
@@ -410,6 +531,59 @@ let test_stream_messages_in_order () =
   Alcotest.(check (list string)) "in order" (List.init 10 (fun i -> string_of_int (i + 1)))
     (List.rev !received)
 
+let test_stream_backoff_under_partition () =
+  (* A partition forces repeated retransmissions; the traced "rto" must
+     grow monotonically and stay capped, and the message must still
+     arrive once the partition heals. *)
+  let w = make_world () in
+  let _sink = Engine.enable_tracing w.engine in
+  Fun.protect ~finally:Trace.stop (fun () ->
+      let listener = Stream.listen w.env w.server_host ~port:9 in
+      let received = ref None in
+      ignore
+        (Host.spawn w.server_host (fun () ->
+             let conn = Stream.accept listener in
+             received := Stream.recv ~timeout:30.0 conn));
+      (* Partition after the handshake, for long enough that the RTO
+         must back off past its base (0.05 s) several times. *)
+      ignore
+        (Engine.schedule w.engine ~delay:0.02 (fun () ->
+             Net.set_partition_for w.net
+               [ [ Host.id w.client_host ]; [ Host.id w.server_host ] ]
+               ~duration:1.5));
+      ignore
+        (run_client w (fun () ->
+             let conn =
+               Stream.connect w.env w.client_host
+                 ~dst:(Addr.make ~host:(Host.id w.server_host) ~port:9)
+                 ()
+             in
+             Fiber.sleep 0.05;  (* inside the partition *)
+             Stream.send conn (Bytes.of_string "persistent");
+             true));
+      (match !received with
+      | Some b -> Alcotest.(check string) "delivered after heal" "persistent" (Bytes.to_string b)
+      | None -> Alcotest.fail "message lost across partition");
+      let rtos =
+        List.filter_map
+          (fun (e : Tev.t) ->
+            if e.Tev.cat = "tcp" && e.Tev.name = "retransmit" then
+              match List.assoc_opt "rto" e.Tev.args with
+              | Some (Tev.Float f) -> Some f
+              | _ -> None
+            else None)
+          (Trace.events ())
+      in
+      Alcotest.(check bool) "several retransmits" true (List.length rtos >= 3);
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "rto nondecreasing" true (monotone rtos);
+      List.iter
+        (fun r -> Alcotest.(check bool) "rto capped" true (r <= 0.8 +. 1e-9))
+        rtos)
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "circus_pairmsg"
@@ -427,14 +601,19 @@ let () =
           Alcotest.test_case "crash detected" `Quick test_crash_detected;
           Alcotest.test_case "crash mid-execution" `Quick test_crash_mid_execution_detected;
           Alcotest.test_case "probes keep slow server" `Quick test_probes_keep_slow_server_alive;
+          Alcotest.test_case "crash within timeout bound" `Quick test_watchdog_crash_within_timeout;
+          Alcotest.test_case "probes only after msg_acked" `Quick test_probes_only_after_msg_acked;
+          Alcotest.test_case "watchdog fibers cancelled" `Quick test_watchdog_fibers_cancelled;
           Alcotest.test_case "no handler rejected" `Quick test_no_handler_rejected;
           Alcotest.test_case "call_many" `Quick test_call_many_unicast_and_multicast;
           Alcotest.test_case "call_many partial crash" `Quick test_call_many_partial_crash;
           Alcotest.test_case "deterministic call numbers" `Quick test_deterministic_call_numbers ] );
       ( "udp_echo",
         [ Alcotest.test_case "echo" `Quick test_udp_echo;
-          Alcotest.test_case "retry on loss" `Quick test_udp_echo_retries_on_loss ] );
+          Alcotest.test_case "retry on loss" `Quick test_udp_echo_retries_on_loss;
+          Alcotest.test_case "gives up after max_retries" `Quick test_udp_echo_gives_up ] );
       ( "stream",
         [ Alcotest.test_case "echo" `Quick test_stream_echo;
           Alcotest.test_case "large lossy" `Quick test_stream_large_message_lossy;
-          Alcotest.test_case "in order" `Quick test_stream_messages_in_order ] ) ]
+          Alcotest.test_case "in order" `Quick test_stream_messages_in_order;
+          Alcotest.test_case "backoff under partition" `Quick test_stream_backoff_under_partition ] ) ]

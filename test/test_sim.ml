@@ -505,6 +505,30 @@ let test_condition_signal_broadcast () =
   Engine.run engine;
   Alcotest.(check int) "all woken" 3 !woken
 
+let test_condition_cancelled_waiter_dropped () =
+  (* Regression: a waiter whose fiber is cancelled while parked must be
+     retired from the queue, so a later [signal] reaches a live waiter
+     instead of being consumed by the corpse. *)
+  let engine = Engine.create () in
+  let cond = Condition.create () in
+  let got = ref [] in
+  let doomed =
+    Fiber.spawn engine (fun () ->
+        Condition.await cond;
+        got := 1 :: !got)
+  in
+  ignore
+    (Fiber.spawn engine (fun () ->
+         Condition.await cond;
+         got := 2 :: !got));
+  ignore
+    (Fiber.spawn engine (fun () ->
+         Fiber.sleep 1.0;
+         Fiber.cancel doomed;
+         Condition.signal cond));
+  Engine.run engine;
+  Alcotest.(check (list int)) "signal reached the live waiter" [ 2 ] !got
+
 let test_condition_timeout () =
   let engine = Engine.create () in
   let cond = Condition.create () in
@@ -568,4 +592,6 @@ let () =
           Alcotest.test_case "mailbox cancelled recv not lost" `Quick
             test_mailbox_cancelled_recv_not_lost;
           Alcotest.test_case "condition signal+broadcast" `Quick test_condition_signal_broadcast;
+          Alcotest.test_case "condition cancelled waiter dropped" `Quick
+            test_condition_cancelled_waiter_dropped;
           Alcotest.test_case "condition timeout" `Quick test_condition_timeout ] ) ]
