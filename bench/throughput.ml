@@ -10,6 +10,7 @@
    Usage:
      dune exec bench/throughput.exe -- [--quick] [--json PATH]
                                        [--baseline PATH] [--max-regress PCT]
+                                       [--require PREFIX] [--summary PATH]
 
    --json PATH       write results as BENCH_throughput-style JSON
    --baseline PATH   compare against a previous JSON file; print the
@@ -17,6 +18,12 @@
    --max-regress PCT with --baseline, exit non-zero if any bench's
                      rate fell more than PCT percent (default 30) —
                      the CI regression gate
+   --require PREFIX  with --baseline, also fail if a result row whose
+                     name starts with PREFIX has no baseline entry
+                     (guards the rpc_calls_n* rows against silent
+                     renames/drops)
+   --summary PATH    with --baseline, append the comparison as a
+                     markdown table to PATH ($GITHUB_STEP_SUMMARY)
    --quick           ~10x smaller workloads (for smoke checks)
 
    Each bench runs three times and reports the best rate, which is the
@@ -283,21 +290,59 @@ let () =
   | None -> ()
   | Some path ->
     let base = parse_baseline (read_file path) in
+    (* Rows matching --require (a name prefix, e.g. "rpc_calls_") must
+       be present in the baseline: a rename or a dropped row would
+       otherwise slip past the gate as "new". *)
+    let required = flag_value "--require" Sys.argv in
+    let summary_path = flag_value "--summary" Sys.argv in
     Printf.printf "\ncomparison vs %s (gate: -%.0f%%)\n" path max_regress;
     Printf.printf "%-20s | %14s | %14s | %9s\n" "bench" "baseline" "now" "change";
+    let summary = Buffer.create 512 in
+    Buffer.add_string summary
+      (Printf.sprintf "### Throughput vs committed baseline (gate: -%.0f%%)\n\n" max_regress);
+    Buffer.add_string summary
+      "| bench | baseline (ops/s) | now (ops/s) | change |\n|---|---:|---:|---:|\n";
     let worst = ref 0.0 in
+    let missing_required = ref [] in
     List.iter
       (fun r ->
+        let is_required =
+          match required with
+          | Some prefix ->
+            String.length r.name >= String.length prefix
+            && String.sub r.name 0 (String.length prefix) = prefix
+          | None -> false
+        in
         match List.assoc_opt r.name base with
-        | None -> Printf.printf "%-20s | %14s | %14.0f | %9s\n" r.name "-" (rate r) "new"
+        | None ->
+          if is_required then missing_required := r.name :: !missing_required;
+          Printf.printf "%-20s | %14s | %14.0f | %9s\n" r.name "-" (rate r) "new";
+          Buffer.add_string summary
+            (Printf.sprintf "| %s | - | %.0f | new |\n" r.name (rate r))
         | Some b when b <= 0.0 -> ()
         | Some b ->
           let change = 100.0 *. ((rate r /. b) -. 1.0) in
           if -.change > !worst then worst := -.change;
-          Printf.printf "%-20s | %14.0f | %14.0f | %+8.1f%%\n" r.name b (rate r) change)
+          Printf.printf "%-20s | %14.0f | %14.0f | %+8.1f%%\n" r.name b (rate r) change;
+          Buffer.add_string summary
+            (Printf.sprintf "| %s | %.0f | %.0f | %+.1f%% |\n" r.name b (rate r) change))
       results;
-    if !worst > max_regress then begin
-      Printf.printf "\nFAIL: worst regression %.1f%% exceeds %.1f%%\n" !worst max_regress;
-      exit 1
-    end
-    else Printf.printf "\nOK: worst regression %.1f%% within %.1f%%\n" !worst max_regress
+    let failed = !worst > max_regress || !missing_required <> [] in
+    let verdict =
+      if !missing_required <> [] then
+        Printf.sprintf "FAIL: required rows missing from baseline: %s"
+          (String.concat ", " (List.rev !missing_required))
+      else if failed then
+        Printf.sprintf "FAIL: worst regression %.1f%% exceeds %.1f%%" !worst max_regress
+      else Printf.sprintf "OK: worst regression %.1f%% within %.1f%%" !worst max_regress
+    in
+    Buffer.add_string summary (Printf.sprintf "\n**%s**\n" verdict);
+    (match summary_path with
+    | None -> ()
+    | Some p ->
+      (* Append: $GITHUB_STEP_SUMMARY accumulates across steps. *)
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 p in
+      output_string oc (Buffer.contents summary);
+      close_out oc);
+    Printf.printf "\n%s\n" verdict;
+    if failed then exit 1

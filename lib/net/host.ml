@@ -23,6 +23,18 @@ type t = {
      so a fault injector can bounce a host and have its services come
      back without the injector knowing what the host was running. *)
   mutable restart_hooks : (unit -> unit) list;
+  (* Worker-fiber pool for [run_pooled]; rebuilt lazily after a crash
+     (the old pool's parked workers die with the incarnation). *)
+  mutable pool : pool option;
+}
+
+and pool = {
+  (* Parked worker continuations, ready to be handed a task.  Storing
+     the wakers directly (rather than queueing tasks through a
+     mailbox) makes a dispatch one list pop and one delay-0 resume
+     event — no queue nodes, no watcher bookkeeping. *)
+  mutable idle : (unit -> unit) Fiber.waker list;
+  pool_incarnation : int;
 }
 
 let create engine ~id ?name ?(clock_offset = 0.0) ?(attributes = []) () =
@@ -38,7 +50,8 @@ let create engine ~id ?name ?(clock_offset = 0.0) ?(attributes = []) () =
     cpu_total = 0.0;
     fibers = [];
     crash_hooks = [];
-    restart_hooks = [] }
+    restart_hooks = [];
+    pool = None }
 
 let id t = t.id
 let name t = t.name
@@ -60,6 +73,46 @@ let spawn t ?label f =
   end
   else Fiber.cancel fiber;
   fiber
+
+(* Run a task on a pooled worker fiber.  Observationally this is
+   [spawn t ~label (fun () -> f ())]: the task starts one delay-0 engine
+   event after the dispatch, exactly where a fresh fiber's first run
+   would sit in the event order — but a parked worker is reused when one
+   is available, skipping the effect-handler setup and termination
+   bookkeeping a spawn pays on every short-lived protocol task.  Tasks
+   are only handed to a parked (idle) worker; when none is idle a new
+   worker is spawned, so concurrent tasks still run concurrently.
+   Workers die with the incarnation (crash cancels their parked
+   receive), and a task dispatched to a worker that outlived a
+   crash/restart cycle is dropped, matching the cancelled-at-crash fate
+   of a spawned fiber. *)
+let run_pooled t ?(label = "pool.worker") f =
+  if t.alive then begin
+    let pool =
+      match t.pool with
+      | Some p when p.pool_incarnation = t.incarnation -> p
+      | Some _ | None ->
+        let p = { idle = []; pool_incarnation = t.incarnation } in
+        t.pool <- Some p;
+        p
+    in
+    match pool.idle with
+    | w :: rest ->
+      pool.idle <- rest;
+      (* Resumes the parked worker one delay-0 event from now — the
+         same slot a fresh fiber's first run would occupy. *)
+      w (Ok f)
+    | [] ->
+      let rec worker_loop task =
+        (* A task dispatched just before a crash still resumes its
+           worker (the wake was already in flight); the guard drops it,
+           matching the cancelled-at-crash fate of a spawned fiber. *)
+        if t.alive && t.incarnation = pool.pool_incarnation then task ();
+        if t.alive && t.incarnation = pool.pool_incarnation then
+          worker_loop (Fiber.suspend (fun wake -> pool.idle <- wake :: pool.idle))
+      in
+      ignore (spawn t ~label (fun () -> worker_loop f))
+  end
 
 let crash t =
   if t.alive then begin
@@ -125,6 +178,6 @@ let use_cpu t ?meter ~kind cost =
     match kind with
     | `User -> Meter.charge_user m cost
     | `Kernel name -> Meter.charge_kernel m ~name cost));
-  Fiber.sleep (t.cpu_busy_until -. now)
+  Fiber.sleep_busy (t.cpu_busy_until -. now)
 
 let cpu_time t = t.cpu_total

@@ -35,6 +35,17 @@ val spawn : t -> ?label:string -> (unit -> unit) -> Circus_sim.Fiber.t
 (** Spawn a fiber on this host; it is cancelled if the host crashes.
     Spawning on a dead host returns a fiber that never runs. *)
 
+val run_pooled : t -> ?label:string -> (unit -> unit) -> unit
+(** Run a task on a pooled worker fiber.  Equivalent to
+    [ignore (spawn t ~label f)] — the task starts one delay-0 engine
+    event after the dispatch, at exactly the position a fresh fiber's
+    first run would occupy — but idle workers are reused, skipping the
+    per-spawn effect-handler setup on hot protocol paths.  Tasks
+    dispatched on a dead host, or delivered to a worker from a previous
+    incarnation, are dropped, matching a spawned fiber's
+    cancelled-at-crash behaviour.  [label] names the worker fiber if a
+    fresh one must be spawned. *)
+
 val crash : t -> unit
 (** Fail-stop: kill all fibers, run crash hooks, mark dead. *)
 

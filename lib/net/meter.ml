@@ -1,52 +1,92 @@
+(* The per-syscall profile is kept as a flat array of cells rather
+   than a hashtable: there are only ever a handful of distinct syscall
+   names (Table 4.2 lists six), every charge site passes the same
+   string literal, and [charge_kernel] runs ~20 times per simulated
+   RPC.  A linear scan that tries physical equality before structural
+   comparison makes the common charge a few pointer compares and two
+   in-place mutations — no hashing, no allocation. *)
+
+type cell = { c_name : string; mutable c_time : float; mutable c_count : int }
+
 type t = {
   mutable user : float;
   mutable kernel : float;
-  syscalls : (string, float ref * int ref) Hashtbl.t;
+  (* Dense prefix [0, n_cells) of [cells] holds the live entries. *)
+  mutable cells : cell array;
+  mutable n_cells : int;
 }
 
-let create () = { user = 0.0; kernel = 0.0; syscalls = Hashtbl.create 8 }
+let create () = { user = 0.0; kernel = 0.0; cells = [||]; n_cells = 0 }
 
 let reset t =
   t.user <- 0.0;
   t.kernel <- 0.0;
-  Hashtbl.reset t.syscalls
+  t.cells <- [||];
+  t.n_cells <- 0
 
 let charge_user t cost = t.user <- t.user +. cost
 
 let charge_kernel t ~name cost =
   t.kernel <- t.kernel +. cost;
-  match Hashtbl.find_opt t.syscalls name with
-  | Some (time, count) ->
-    time := !time +. cost;
-    incr count
-  | None -> Hashtbl.add t.syscalls name (ref cost, ref 1)
+  let n = t.n_cells in
+  let cells = t.cells in
+  let rec find i =
+    if i >= n then None
+    else
+      let c = cells.(i) in
+      if c.c_name == name || String.equal c.c_name name then Some c else find (i + 1)
+  in
+  match find 0 with
+  | Some c ->
+    c.c_time <- c.c_time +. cost;
+    c.c_count <- c.c_count + 1
+  | None ->
+    if n >= Array.length t.cells then begin
+      let grown =
+        Array.make (if n = 0 then 8 else 2 * n) { c_name = ""; c_time = 0.0; c_count = 0 }
+      in
+      Array.blit t.cells 0 grown 0 n;
+      t.cells <- grown
+    end;
+    t.cells.(n) <- { c_name = name; c_time = cost; c_count = 1 };
+    t.n_cells <- n + 1
 
 let user t = t.user
 let kernel t = t.kernel
 let total t = t.user +. t.kernel
 
 let by_syscall t =
-  Hashtbl.fold (fun name (time, count) acc -> (name, !time, !count) :: acc) t.syscalls []
-  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  let acc = ref [] in
+  for i = t.n_cells - 1 downto 0 do
+    let c = t.cells.(i) in
+    acc := (c.c_name, c.c_time, c.c_count) :: !acc
+  done;
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !acc
 
 let snapshot t =
-  let copy = create () in
-  copy.user <- t.user;
-  copy.kernel <- t.kernel;
-  Hashtbl.iter (fun name (time, count) -> Hashtbl.add copy.syscalls name (ref !time, ref !count)) t.syscalls;
-  copy
+  { user = t.user;
+    kernel = t.kernel;
+    cells =
+      Array.init t.n_cells (fun i ->
+          let c = t.cells.(i) in
+          { c_name = c.c_name; c_time = c.c_time; c_count = c.c_count });
+    n_cells = t.n_cells }
 
 let diff ~after ~before =
-  let d = create () in
-  d.user <- after.user -. before.user;
-  d.kernel <- after.kernel -. before.kernel;
-  Hashtbl.iter
-    (fun name (time, count) ->
-      let time0, count0 =
-        match Hashtbl.find_opt before.syscalls name with
-        | Some (t0, c0) -> (!t0, !c0)
-        | None -> (0.0, 0)
-      in
-      Hashtbl.add d.syscalls name (ref (!time -. time0), ref (!count - count0)))
-    after.syscalls;
-  d
+  let find_before name =
+    let rec go i =
+      if i >= before.n_cells then (0.0, 0)
+      else
+        let c = before.cells.(i) in
+        if String.equal c.c_name name then (c.c_time, c.c_count) else go (i + 1)
+    in
+    go 0
+  in
+  { user = after.user -. before.user;
+    kernel = after.kernel -. before.kernel;
+    cells =
+      Array.init after.n_cells (fun i ->
+          let c = after.cells.(i) in
+          let t0, c0 = find_before c.c_name in
+          { c_name = c.c_name; c_time = c.c_time -. t0; c_count = c.c_count - c0 });
+    n_cells = after.n_cells }

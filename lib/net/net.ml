@@ -86,22 +86,42 @@ type t = {
   mutable partition_epoch : int;
   faults : faults;
   stats : stats;
+  (* Datagram batching (off by default): copies injected during the
+     current instant are buffered here (newest first) and flushed by an
+     engine tick-boundary hook, which coalesces copies sharing a
+     destination and an arrival instant into one delivery event.
+     Arrival times and fault draws are computed at send time exactly as
+     on the unbatched path, so simulated time is unchanged — only the
+     number of engine events carrying the deliveries shrinks. *)
+  mutable batching : bool;
+  mutable pending_batch : (float * datagram) list;
 }
 
+(* Forward reference so [create] can register the tick-boundary flush
+   hook; the real flush lives with the data plane below. *)
+let flush_ref : (t -> unit) ref = ref (fun _ -> ())
+
 let create engine ?(params = default_params) () =
-  { engine;
-    params;
-    prng = Prng.split (Engine.prng engine);
-    host_table = [||];
-    next_host_id = 0;
-    ports = Hashtbl.create 64;
-    ephemeral = Hashtbl.create 16;
-    partition = No_partition;
-    partition_epoch = 0;
-    faults =
-      { extra_loss = 0.0; extra_duplication = 0.0; extra_delay_mean = 0.0; corrupt_rate = 0.0 };
-    stats =
-      { sent = 0; delivered = 0; dropped = 0; duplicated = 0; corrupted = 0; bytes_sent = 0 } }
+  let t =
+    { engine;
+      params;
+      prng = Prng.split (Engine.prng engine);
+      host_table = [||];
+      next_host_id = 0;
+      ports = Hashtbl.create 64;
+      ephemeral = Hashtbl.create 16;
+      partition = No_partition;
+      partition_epoch = 0;
+      faults =
+        { extra_loss = 0.0; extra_duplication = 0.0; extra_delay_mean = 0.0; corrupt_rate = 0.0 };
+      stats =
+        { sent = 0; delivered = 0; dropped = 0; duplicated = 0; corrupted = 0; bytes_sent = 0 };
+      batching = false;
+      pending_batch = [] }
+  in
+  Engine.add_flush_hook engine (fun () ->
+      if t.pending_batch != [] then !flush_ref t);
+  t
 
 let engine t = t.engine
 let params t = t.params
@@ -267,23 +287,78 @@ let trace_dgram t name ~(dgram : datagram) ~reason =
   end;
   ignore t
 
-(* Schedule delivery of one copy of a datagram.  Liveness and binding
-   are re-checked at arrival time: a host that crashes in flight never
-   sees the packet. *)
+(* Hand one arrived copy to its destination socket.  Liveness and
+   binding are checked at arrival time: a host that crashes in flight
+   never sees the packet. *)
+let deliver_now t dgram =
+  match Hashtbl.find_opt t.ports (dgram.dst.Addr.host, dgram.dst.Addr.port) with
+  | Some sock
+    when (not sock.closed) && Host.is_alive sock.owner && Addr.equal sock.addr dgram.dst ->
+    t.stats.delivered <- t.stats.delivered + 1;
+    trace_dgram t "deliver" ~dgram ~reason:None;
+    Mailbox.send sock.mailbox dgram
+  | Some _ | None ->
+    t.stats.dropped <- t.stats.dropped + 1;
+    trace_dgram t "drop" ~dgram ~reason:(Some "unbound")
+
+(* Schedule delivery of one copy.  With batching on, the copy is
+   buffered instead; the tick-boundary flush coalesces same-instant
+   same-destination copies into one delivery event. *)
 let deliver_copy t dgram delay =
-  ignore
-    (Engine.schedule t.engine ~delay (fun () ->
-         match Hashtbl.find_opt t.ports (dgram.dst.Addr.host, dgram.dst.Addr.port) with
-         | Some sock
-           when (not sock.closed)
-                && Host.is_alive sock.owner
-                && Addr.equal sock.addr dgram.dst ->
-           t.stats.delivered <- t.stats.delivered + 1;
-           trace_dgram t "deliver" ~dgram ~reason:None;
-           Mailbox.send sock.mailbox dgram
-         | Some _ | None ->
-           t.stats.dropped <- t.stats.dropped + 1;
-           trace_dgram t "drop" ~dgram ~reason:(Some "unbound")))
+  if t.batching then
+    t.pending_batch <- (Engine.now t.engine +. delay, dgram) :: t.pending_batch
+  else ignore (Engine.schedule t.engine ~delay (fun () -> deliver_now t dgram))
+
+(* Flush the batch buffer: one delivery event per (destination,
+   arrival instant) group, delivering the group's copies in send
+   order.  Runs at the instant the copies were injected (the engine
+   calls the hook before any clock movement), so each group's delay is
+   exactly the per-copy delay the unbatched path would have used. *)
+let flush t =
+  match t.pending_batch with
+  | [] -> ()
+  | rev ->
+    t.pending_batch <- [];
+    let arr = Array.of_list (List.rev rev) in
+    let n = Array.length arr in
+    let consumed = Array.make n false in
+    let now = Engine.now t.engine in
+    for i = 0 to n - 1 do
+      if not consumed.(i) then begin
+        let arrival, first = arr.(i) in
+        let group = ref [ first ] in
+        for j = i + 1 to n - 1 do
+          if not consumed.(j) then begin
+            let aj, dj = arr.(j) in
+            if Float.equal aj arrival && Addr.equal dj.dst first.dst then begin
+              consumed.(j) <- true;
+              group := dj :: !group
+            end
+          end
+        done;
+        let copies = List.rev !group in
+        (match copies with
+        | [ d ] -> ignore (Engine.schedule t.engine ~delay:(arrival -. now) (fun () -> deliver_now t d))
+        | ds ->
+          if Trace.on () then begin
+            Trace.incr "net.batch";
+            Trace.emit ~cat:"net" ~host:first.dst.Addr.host
+              ~args:[ ("copies", Tev.Int (List.length ds)); ("dst", Tev.Int first.dst.Addr.host) ]
+              "batch"
+          end;
+          ignore
+            (Engine.schedule t.engine ~delay:(arrival -. now) (fun () ->
+                 List.iter (deliver_now t) ds)))
+      end
+    done
+
+let () = flush_ref := flush
+
+let set_batching t on =
+  if not on then flush t;
+  t.batching <- on
+
+let batching t = t.batching
 
 let transit_delay t len =
   t.params.propagation

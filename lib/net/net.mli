@@ -76,6 +76,22 @@ val send_multicast : t -> src:Addr.t -> dsts:Addr.t list -> bytes -> unit
     loss and jitter (reliability may vary from recipient to recipient,
     §2.2). *)
 
+val set_batching : t -> bool -> unit
+(** Enable or disable datagram batching (default off).  When on,
+    copies injected during one simulated instant are buffered and
+    flushed at the tick boundary, coalescing copies that share a
+    destination and an arrival instant into a single delivery event.
+    Arrival times, loss/duplication/jitter draws, and delivery order
+    within a batch are computed at send time exactly as on the
+    unbatched path: simulated time is unchanged, only the engine event
+    count carrying the deliveries shrinks.  (Deliveries whose arrival
+    instants tie with unrelated events may occupy a different
+    scheduling sequence position than unbatched; with nonzero jitter
+    such ties have probability zero.)  Disabling flushes any buffered
+    copies first. *)
+
+val batching : t -> bool
+
 (** {1 Failures} *)
 
 val set_partition : t -> Addr.host_id list list -> unit

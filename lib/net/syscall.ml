@@ -45,6 +45,27 @@ let sendmsg env ?meter sock ~dst payload =
   charge env ?meter (Net.socket_host sock) ~name:"sendmsg" env.costs.sendmsg;
   Net.send env.net ~src:(Net.socket_addr sock) ~dst payload
 
+(* Vectored burst: one syscall-layer entry for a run of datagrams to
+   one destination.  Each element is charged and injected exactly as a
+   standalone [sendmsg] — same per-datagram cost, same injection
+   instants (the clock advances between elements as each charge is
+   served) — so a burst's metered time and arrival schedule are
+   byte-for-byte those of the equivalent loop.  The win is structural:
+   callers hand the transport a whole message's segments at once,
+   which is what lets the network batcher coalesce any same-instant
+   copies downstream. *)
+let no_before (_ : int) = ()
+
+let sendmsg_vec env ?meter ?(before = no_before) sock ~dst payloads =
+  let host = Net.socket_host sock in
+  let src = Net.socket_addr sock in
+  Array.iteri
+    (fun i payload ->
+      before i;
+      charge env ?meter host ~name:"sendmsg" env.costs.sendmsg;
+      Net.send env.net ~src ~dst payload)
+    payloads
+
 let sendmsg_multicast env ?meter sock ~dsts payload =
   charge env ?meter (Net.socket_host sock) ~name:"sendmsg" env.costs.sendmsg;
   Net.send_multicast env.net ~src:(Net.socket_addr sock) ~dsts payload

@@ -41,6 +41,16 @@ val sendmsg : env -> ?meter:Meter.t -> Net.socket -> dst:Addr.t -> bytes -> unit
 (** Transmit one datagram (kernel cost charged, then injected into the
     network). *)
 
+val sendmsg_vec :
+  env -> ?meter:Meter.t -> ?before:(int -> unit) -> Net.socket -> dst:Addr.t -> bytes array -> unit
+(** Vectored burst: charge and inject each payload exactly as a
+    standalone {!sendmsg} would, in array order, running [before i]
+    (default nothing) ahead of element [i]'s charge — the slot for the
+    caller's own per-segment user-time cost.  Metered cost and
+    injection instants are identical to the equivalent loop — the
+    vectored form exists so a multi-segment message reaches the
+    transport as one unit (see {!Net.set_batching}). *)
+
 val sendmsg_multicast : env -> ?meter:Meter.t -> Net.socket -> dsts:Addr.t list -> bytes -> unit
 (** One [sendmsg]-priced transmission reaching every destination — the
     Ethernet multicast capability §4.3.7 wishes for. *)

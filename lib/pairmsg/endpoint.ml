@@ -38,6 +38,11 @@ type outgoing = {
   mutable o_acked : int;  (* highest consecutively acked segment number *)
   mutable o_done : bool;
   mutable o_failed : bool;
+  (* Retransmit-chain state (formerly locals of the retransmit fiber):
+     consecutive unproductive wakes, and the [o_acked] level at which
+     the give-up counter was last reset. *)
+  mutable o_attempts : int;
+  mutable o_acked_mark : int;
 }
 
 type incoming = {
@@ -57,9 +62,32 @@ type exchange = {
   x_out : outgoing;
   mutable x_last_activity : float;
   mutable x_finished : bool;
-  mutable x_watchdog : Fiber.t option;
+  (* The pending watchdog wake, when one is armed.  Cleared just before
+     the callback dispatches its tick, so a handle found here is always
+     live and safe to [Engine.cancel]. *)
+  mutable x_watchdog : Engine.handle option;
   x_deliver : (bytes, exn) result -> unit;
 }
+
+(* Per-call state is keyed by (peer, message type, call number)
+   composites packed into a single non-negative int, so the hot
+   find/replace/remove path through [Itab] allocates no key tuples.
+   Layout (62 usable bits): host:11 | port:16 | msg_type:3 | call_no:32.
+   The simulator never approaches 2048 hosts or 65536 ports; call
+   numbers are compared in the unsigned-int domain, consistent with the
+   int32 counter they come from. *)
+let[@inline] addr_key (a : Addr.t) = (a.Addr.host lsl 16) lor a.Addr.port
+
+let[@inline] mt_tag = function
+  | Segment.Call -> 0
+  | Segment.Return -> 1
+  | Segment.Probe -> 2
+  | Segment.Probe_ack -> 3
+  | Segment.Reject -> 4
+
+let[@inline] cn_int cn = Int32.to_int cn land 0xFFFFFFFF
+let[@inline] msg_key a mt cn = (addr_key a lsl 35) lor (mt_tag mt lsl 32) lor cn_int cn
+let[@inline] call_key a cn = (addr_key a lsl 32) lor cn_int cn
 
 type t = {
   env : Syscall.env;
@@ -69,11 +97,11 @@ type t = {
   config : config;
   engine : Engine.t;
   mutable counter : int32;
-  outgoing : (Addr.t * Segment.msg_type * int32, outgoing) Hashtbl.t;
-  incoming : (Addr.t * Segment.msg_type * int32, incoming) Hashtbl.t;
-  exchanges : (Addr.t * int32, exchange) Hashtbl.t;
-  completed : (Addr.t, int32) Hashtbl.t;  (* highest executed incoming call per peer *)
-  executed : (Addr.t * int32, unit) Hashtbl.t;  (* exactly-once guard *)
+  outgoing : outgoing Itab.t;  (* msg_key *)
+  incoming : incoming Itab.t;  (* msg_key *)
+  exchanges : exchange Itab.t;  (* call_key *)
+  completed : int Itab.t;  (* addr_key -> highest executed incoming call per peer *)
+  executed : unit Itab.t;  (* call_key; exactly-once guard *)
   mutable handler : (src:Addr.t -> call_no:int32 -> bytes -> unit) option;
   mutable closed : bool;
   mutable demux : Fiber.t option;
@@ -118,59 +146,105 @@ let send_ack t ~dst ~msg_type ~total ~ack_no ~call_no =
 
 (* Retransmission per §4.2.2: periodically resend the first
    unacknowledged segment with the please-ack bit, resetting the give-up
-   counter whenever the acknowledgment number advances. *)
-let retransmit_loop t out =
-  let attempts = ref 0 in
-  let last_acked = ref out.o_acked in
-  while (not out.o_done) && not out.o_failed do
-    Syscall.setitimer t.env ~meter:t.meter t.host;
-    Fiber.sleep t.config.retransmit_interval;
-    if (not out.o_done) && not out.o_failed then begin
-      if out.o_acked > !last_acked then begin
-        last_acked := out.o_acked;
-        attempts := 0
-      end;
-      incr attempts;
-      if !attempts > t.config.max_retransmits then begin
-        if Trace.on () then
-          Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
-            ~args:
-              [ ("type", Tev.Str (msg_type_str out.o_type));
-                ("call_no", Tev.I32 out.o_call_no);
-                ("dst", Tev.Int out.o_dst.Addr.host) ]
-            "give_up";
-        out.o_failed <- true
-      end
-      else begin
-        let next = out.o_acked + 1 in
-        if next <= Array.length out.o_segments then begin
-          if Trace.on () then Trace.incr "pairmsg.retransmits";
-          send_segment t ~dst:out.o_dst
-            (Segment.data_segment ~msg_type:out.o_type ~please_ack:true
-               ~total:(Array.length out.o_segments) ~seg_no:next ~call_no:out.o_call_no
-               out.o_segments.(next - 1))
-        end
-      end
-    end
-  done;
-  Syscall.setitimer t.env ~meter:t.meter t.host (* disarm *)
+   counter whenever the acknowledgment number advances.
 
-let start_outgoing t ~dst ~msg_type ~call_no body ~send_burst =
-  let segments = Array.of_list (Segment.split_message ~mtu:(seg_size t + Segment.header_size) body) in
+   The loop runs as a timer-callback chain rather than a dedicated
+   fiber: each periodic wake is an engine event dispatching a pooled
+   task, and the chain re-arms itself until the message is acknowledged
+   or given up on.  Every CPU charge (the setitimer bracketing each
+   interval, the resends, the final disarm) is made from a pooled
+   fiber at exactly the virtual instant the old retransmit fiber made
+   it, so metered time and the byte-pinned Table-4.1 fixture are
+   unchanged — only the per-message fiber spawn and its park/resume
+   machinery are gone.  [inc] pins the chain to the incarnation that
+   started it: a chain that outlives a crash (engine timers are not
+   host state) goes quiet instead of resending from the dead. *)
+let rec retransmit_arm t out ~inc =
+  Syscall.setitimer t.env ~meter:t.meter t.host;
+  ignore
+    (Engine.schedule t.engine ~delay:t.config.retransmit_interval (fun () ->
+         Host.run_pooled t.host ~label:"pairmsg.retransmit" (fun () ->
+             if Host.incarnation t.host = inc then retransmit_tick t out ~inc)))
+
+and retransmit_tick t out ~inc =
+  if out.o_done || out.o_failed then
+    Syscall.setitimer t.env ~meter:t.meter t.host (* disarm *)
+  else begin
+    if out.o_acked > out.o_acked_mark then begin
+      out.o_acked_mark <- out.o_acked;
+      out.o_attempts <- 0
+    end;
+    out.o_attempts <- out.o_attempts + 1;
+    if out.o_attempts > t.config.max_retransmits then begin
+      if Trace.on () then
+        Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+          ~args:
+            [ ("type", Tev.Str (msg_type_str out.o_type));
+              ("call_no", Tev.I32 out.o_call_no);
+              ("dst", Tev.Int out.o_dst.Addr.host) ]
+          "give_up";
+      out.o_failed <- true;
+      Syscall.setitimer t.env ~meter:t.meter t.host (* disarm *)
+    end
+    else begin
+      let next = out.o_acked + 1 in
+      if next <= Array.length out.o_segments then begin
+        if Trace.on () then Trace.incr "pairmsg.retransmits";
+        send_segment t ~dst:out.o_dst
+          (Segment.data_segment ~msg_type:out.o_type ~please_ack:true
+             ~total:(Array.length out.o_segments) ~seg_no:next ~call_no:out.o_call_no
+             out.o_segments.(next - 1))
+      end;
+      (* The resend's charges may have drained the ack that completes
+         the message (or a duplicate that fails it); the old loop
+         re-checked its condition here before rearming. *)
+      if out.o_done || out.o_failed then
+        Syscall.setitimer t.env ~meter:t.meter t.host (* disarm *)
+      else retransmit_arm t out ~inc
+    end
+  end
+
+(* First wake of the chain, at the event slot the retransmit fiber's
+   spawn used to occupy: a message already completed by then (a
+   buffered first-come return, §4.3.4) pays only the disarm. *)
+let retransmit_start t out ~inc =
+  if out.o_done || out.o_failed then Syscall.setitimer t.env ~meter:t.meter t.host
+  else begin
+    out.o_acked_mark <- out.o_acked;
+    retransmit_arm t out ~inc
+  end
+
+let start_outgoing t ?(defer_retransmit = false) ~dst ~msg_type ~call_no body ~send_burst () =
+  let segments = Segment.split_message ~mtu:(seg_size t + Segment.header_size) body in
   let out =
     { o_dst = dst; o_type = msg_type; o_call_no = call_no; o_segments = segments;
-      o_acked = 0; o_done = false; o_failed = false }
+      o_acked = 0; o_done = false; o_failed = false; o_attempts = 0; o_acked_mark = 0 }
   in
-  Hashtbl.replace t.outgoing (dst, msg_type, call_no) out;
-  if send_burst then
-    Array.iteri
-      (fun i data ->
+  Itab.replace t.outgoing (msg_key dst msg_type call_no) out;
+  if send_burst then begin
+    (* The whole burst goes through one vectored send; the [before]
+       callback keeps the per-segment user charge and trace event at
+       exactly the instants the segment-by-segment loop produced. *)
+    let total = Array.length segments in
+    let segs =
+      Array.mapi
+        (fun i data -> Segment.data_segment ~msg_type ~total ~seg_no:(i + 1) ~call_no data)
+        out.o_segments
+    in
+    Syscall.sendmsg_vec t.env ~meter:t.meter t.sock ~dst
+      ~before:(fun i ->
         Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_segment;
-        send_segment t ~dst
-          (Segment.data_segment ~msg_type ~total:(Array.length segments) ~seg_no:(i + 1)
-             ~call_no data))
-      out.o_segments;
-  ignore (Host.spawn t.host ~label:"pairmsg.retransmit" (fun () -> retransmit_loop t out));
+        trace_seg t "seg_send" ~dst segs.(i))
+      (Array.map Segment.encode segs)
+  end;
+  (* A client exchange runs the retransmit starter from the same pooled
+     task as its watchdog starter (see [start_exchange]); everyone else
+     dispatches it here. *)
+  if not defer_retransmit then begin
+    let inc = Host.incarnation t.host in
+    Host.run_pooled t.host ~label:"pairmsg.retransmit" (fun () ->
+        if Host.incarnation t.host = inc then retransmit_start t out ~inc)
+  end;
   out
 
 let finish_outgoing t out =
@@ -182,10 +256,24 @@ let finish_outgoing t out =
           ("dst", Tev.Int out.o_dst.Addr.host) ]
       "msg_acked";
   out.o_done <- true;
-  Hashtbl.remove t.outgoing (out.o_dst, out.o_type, out.o_call_no)
+  Itab.remove t.outgoing (msg_key out.o_dst out.o_type out.o_call_no)
 
 (* ------------------------------------------------------------------ *)
 (* Client exchanges *)
+
+(* Cancel a pending watchdog wake; the hygiene trace event pairs with
+   the "wd_arm" emitted when the exchange first armed it (tests assert
+   every armed watchdog is eventually disarmed). *)
+let watchdog_disarm t x =
+  match x.x_watchdog with
+  | Some h ->
+    x.x_watchdog <- None;
+    Engine.cancel h;
+    if Trace.on () then
+      Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+        ~args:[ ("call_no", Tev.I32 x.x_call_no); ("dst", Tev.Int x.x_dst.Addr.host) ]
+        "wd_disarm"
+  | None -> ()
 
 let finish_exchange t x result =
   if not x.x_finished then begin
@@ -197,29 +285,54 @@ let finish_exchange t x result =
             ("ok", Tev.Bool (Result.is_ok result)) ]
         "call_done";
     x.x_finished <- true;
-    Hashtbl.remove t.exchanges (x.x_dst, x.x_call_no);
+    Itab.remove t.exchanges (call_key x.x_dst x.x_call_no);
     if not x.x_out.o_done then finish_outgoing t x.x_out;
-    (match x.x_watchdog with Some f -> Fiber.cancel f | None -> ());
+    watchdog_disarm t x;
     x.x_deliver result
   end
 
 (* Crash detection per §4.2.3: once the call message is fully
    acknowledged, probe the server periodically; give up after
-   [crash_timeout] of silence. *)
-let watchdog_loop t x =
-  while not x.x_finished do
-    Syscall.setitimer t.env ~meter:t.meter t.host;
-    Fiber.sleep t.config.probe_interval;
-    if not x.x_finished then begin
-      if x.x_out.o_failed then finish_exchange t x (Error (Crashed x.x_dst))
-      else begin
-        let idle = Engine.now t.engine -. x.x_last_activity in
-        if idle >= t.config.crash_timeout then finish_exchange t x (Error (Crashed x.x_dst))
-        else if x.x_out.o_done && idle >= t.config.probe_interval then
-          send_segment t ~dst:x.x_dst (Segment.probe ~call_no:x.x_call_no)
-      end
-    end
-  done
+   [crash_timeout] of silence.  Like retransmission this runs as a
+   timer-callback chain: the charges (one setitimer per interval, the
+   probes) come from pooled tasks at the instants the old watchdog
+   fiber made them, and an exchange finishing simply cancels the
+   pending wake — no fiber to cancel, no discontinue event. *)
+let rec watchdog_arm t x ~inc =
+  Syscall.setitimer t.env ~meter:t.meter t.host;
+  x.x_watchdog <-
+    Some
+      (Engine.schedule t.engine ~delay:t.config.probe_interval (fun () ->
+           x.x_watchdog <- None;
+           Host.run_pooled t.host ~label:"pairmsg.watchdog" (fun () ->
+               if Host.incarnation t.host = inc then watchdog_tick t x ~inc)))
+
+and watchdog_tick t x ~inc =
+  if not x.x_finished then begin
+    (if x.x_out.o_failed then finish_exchange t x (Error (Crashed x.x_dst))
+     else begin
+       let idle = Engine.now t.engine -. x.x_last_activity in
+       if idle >= t.config.crash_timeout then finish_exchange t x (Error (Crashed x.x_dst))
+       else if x.x_out.o_done && idle >= t.config.probe_interval then
+         send_segment t ~dst:x.x_dst (Segment.probe ~call_no:x.x_call_no)
+     end);
+    if not x.x_finished then watchdog_arm t x ~inc
+    else if Trace.on () then
+      Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+        ~args:[ ("call_no", Tev.I32 x.x_call_no); ("dst", Tev.Int x.x_dst.Addr.host) ]
+        "wd_disarm"
+  end
+
+let watchdog_start t x ~inc =
+  if Trace.on () then
+    Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+      ~args:[ ("call_no", Tev.I32 x.x_call_no); ("dst", Tev.Int x.x_dst.Addr.host) ]
+      "wd_arm";
+  if not x.x_finished then watchdog_arm t x ~inc
+  else if Trace.on () then
+    Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
+      ~args:[ ("call_no", Tev.I32 x.x_call_no); ("dst", Tev.Int x.x_dst.Addr.host) ]
+      "wd_disarm"
 
 let start_exchange t ~dst ~call_no out deliver =
   let x =
@@ -227,15 +340,18 @@ let start_exchange t ~dst ~call_no out deliver =
       x_last_activity = Engine.now t.engine; x_finished = false; x_watchdog = None;
       x_deliver = deliver }
   in
-  Hashtbl.replace t.exchanges (dst, call_no) x;
+  Itab.replace t.exchanges (call_key dst call_no) x;
   (* Client-side buffering (§4.3.4): a server using the first-come
      broadcast policy may have sent our return message before we made
      the call; if it is already here, the exchange completes at once. *)
-  (match Hashtbl.find_opt t.incoming (dst, Segment.Return, call_no) with
+  let inc0 = Host.incarnation t.host in
+  Host.run_pooled t.host ~label:"pairmsg.retransmit" (fun () ->
+      if Host.incarnation t.host = inc0 then retransmit_start t out ~inc:inc0);
+  (match Itab.find_opt t.incoming (msg_key dst Segment.Return call_no) with
   | Some inc when inc.i_complete -> finish_exchange t x (Ok inc.i_body)
   | Some _ | None ->
-    x.x_watchdog <-
-      Some (Host.spawn t.host ~label:"pairmsg.watchdog" (fun () -> watchdog_loop t x)));
+    Host.run_pooled t.host ~label:"pairmsg.watchdog" (fun () ->
+        if Host.incarnation t.host = inc0 then watchdog_start t x ~inc:inc0));
   x
 
 let call_many t ~dsts ?(multicast = false) ?call_no body =
@@ -258,8 +374,8 @@ let call_many t ~dsts ?(multicast = false) ?call_no body =
        per-destination outgoing records are created without their own
        burst, so only retransmissions are point-to-point. *)
     let segments = Segment.split_message ~mtu:(seg_size t + Segment.header_size) body in
-    let total = List.length segments in
-    List.iteri
+    let total = Array.length segments in
+    Array.iteri
       (fun i data ->
         Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_segment;
         Syscall.sendmsg_multicast t.env ~meter:t.meter t.sock ~dsts
@@ -270,7 +386,10 @@ let call_many t ~dsts ?(multicast = false) ?call_no body =
   end;
   List.iter
     (fun dst ->
-      let out = start_outgoing t ~dst ~msg_type:Segment.Call ~call_no body ~send_burst:(not multicast) in
+      let out =
+        start_outgoing t ~defer_retransmit:true ~dst ~msg_type:Segment.Call ~call_no body
+          ~send_burst:(not multicast) ()
+      in
       ignore
         (start_exchange t ~dst ~call_no out (fun result ->
              Mailbox.send replies { from = dst; result })))
@@ -293,7 +412,7 @@ let set_handler t handler = t.handler <- Some handler
 
 let reply t ~dst ~call_no body =
   Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_call;
-  ignore (start_outgoing t ~dst ~msg_type:Segment.Return ~call_no body ~send_burst:true)
+  ignore (start_outgoing t ~dst ~msg_type:Segment.Return ~call_no body ~send_burst:true ())
 
 let serve t f =
   set_handler t (fun ~src ~call_no body -> reply t ~dst:src ~call_no (f ~src body))
@@ -301,11 +420,13 @@ let serve t f =
 (* ------------------------------------------------------------------ *)
 (* Demultiplexer *)
 
-let completed_up_to t peer =
-  match Hashtbl.find_opt t.completed peer with Some n -> n | None -> 0l
+let completed_of_key t akey =
+  match Itab.find_opt t.completed akey with Some n -> n | None -> 0
+
+let completed_up_to t peer = completed_of_key t (addr_key peer)
 
 let touch_exchange t ~src ~call_no =
-  match Hashtbl.find_opt t.exchanges (src, call_no) with
+  match Itab.find_opt t.exchanges (call_key src call_no) with
   | Some x -> x.x_last_activity <- Engine.now t.engine
   | None -> ()
 
@@ -313,35 +434,39 @@ let touch_exchange t ~src ~call_no =
    calls from the same peer; run occasionally. *)
 let prune t =
   let stale =
-    Hashtbl.fold
-      (fun (peer, mt, call_no) inc acc ->
-        let horizon = Int32.sub (completed_up_to t peer) 64l in
-        if Int32.compare call_no horizon < 0 && inc.i_complete then (peer, mt, call_no) :: acc
-        else acc)
+    Itab.fold
+      (fun key inc acc ->
+        let horizon = completed_of_key t (key lsr 35) - 64 in
+        if key land 0xFFFFFFFF < horizon && inc.i_complete then key :: acc else acc)
       t.incoming []
   in
-  List.iter (Hashtbl.remove t.incoming) stale;
+  List.iter (Itab.remove t.incoming) stale;
   let stale_executed =
-    Hashtbl.fold
-      (fun (peer, call_no) () acc ->
-        if Int32.compare call_no (Int32.sub (completed_up_to t peer) 64l) < 0 then
-          (peer, call_no) :: acc
+    Itab.fold
+      (fun key () acc ->
+        if key land 0xFFFFFFFF < completed_of_key t (key lsr 32) - 64 then key :: acc
         else acc)
       t.executed []
   in
-  List.iter (Hashtbl.remove t.executed) stale_executed
+  List.iter (Itab.remove t.executed) stale_executed
 
 let assemble inc =
-  let buf = Buffer.create 256 in
-  Array.iter
-    (fun part -> match part with Some b -> Buffer.add_bytes buf b | None -> assert false)
-    inc.i_parts;
-  inc.i_body <- Buffer.to_bytes buf;
+  (* Single-segment fast path: adopt the part's storage directly.  The
+     decoder hands each segment a fresh [data] bytes, so nothing else
+     aliases it. *)
+  (match inc.i_parts with
+  | [| Some b |] -> inc.i_body <- b
+  | parts ->
+    let buf = Buffer.create 256 in
+    Array.iter
+      (fun part -> match part with Some b -> Buffer.add_bytes buf b | None -> assert false)
+      parts;
+    inc.i_body <- Buffer.to_bytes buf);
   inc.i_parts <- [||]
 
 let handle_ack t ~src seg =
   touch_exchange t ~src ~call_no:seg.Segment.call_no;
-  match Hashtbl.find_opt t.outgoing (src, seg.Segment.msg_type, seg.Segment.call_no) with
+  match Itab.find_opt t.outgoing (msg_key src seg.Segment.msg_type seg.Segment.call_no) with
   | None -> ()
   | Some out ->
     if seg.Segment.seg_no > out.o_acked then out.o_acked <- seg.Segment.seg_no;
@@ -349,9 +474,9 @@ let handle_ack t ~src seg =
 
 let handle_probe t ~src call_no =
   let known =
-    Hashtbl.mem t.incoming (src, Segment.Call, call_no)
-    || Hashtbl.mem t.outgoing (src, Segment.Return, call_no)
-    || Int32.compare call_no (completed_up_to t src) <= 0
+    Itab.mem t.incoming (msg_key src Segment.Call call_no)
+    || Itab.mem t.outgoing (msg_key src Segment.Return call_no)
+    || cn_int call_no <= completed_up_to t src
   in
   if known then send_segment t ~dst:src (Segment.probe_ack ~call_no)
   else send_segment t ~dst:src (Segment.reject ~call_no)
@@ -363,25 +488,25 @@ let implicit_acks t ~src seg =
   match seg.Segment.msg_type with
   | Segment.Return -> (
     touch_exchange t ~src ~call_no:seg.Segment.call_no;
-    match Hashtbl.find_opt t.outgoing (src, Segment.Call, seg.Segment.call_no) with
+    match Itab.find_opt t.outgoing (msg_key src Segment.Call seg.Segment.call_no) with
     | Some out -> finish_outgoing t out
     | None -> ())
   | Segment.Call ->
+    (* Earlier return messages to this peer: same (addr, Return) key
+       prefix, lower call number. *)
+    let prefix = (addr_key src lsl 3) lor mt_tag Segment.Return in
+    let cn = cn_int seg.Segment.call_no in
     let stale =
-      Hashtbl.fold
-        (fun (dst, mt, cn) out acc ->
-          if
-            Addr.equal dst src && mt = Segment.Return
-            && Int32.compare cn seg.Segment.call_no < 0
-          then out :: acc
-          else acc)
+      Itab.fold
+        (fun key out acc ->
+          if key lsr 32 = prefix && key land 0xFFFFFFFF < cn then out :: acc else acc)
         t.outgoing []
     in
     List.iter (finish_outgoing t) stale
   | Segment.Probe | Segment.Probe_ack | Segment.Reject -> ()
 
 let deliver_call t ~src ~call_no body =
-  if not (Hashtbl.mem t.executed (src, call_no)) then begin
+  if not (Itab.mem t.executed (call_key src call_no)) then begin
     if Trace.on () then
       Trace.emit ~cat:"pairmsg" ~host:(Host.id t.host)
         ~args:
@@ -389,16 +514,15 @@ let deliver_call t ~src ~call_no body =
             ("src", Tev.Int src.Addr.host);
             ("len", Tev.Int (Bytes.length body)) ]
         "deliver_call";
-    Hashtbl.replace t.executed (src, call_no) ();
-    if Int32.compare call_no (completed_up_to t src) > 0 then
-      Hashtbl.replace t.completed src call_no;
+    Itab.replace t.executed (call_key src call_no) ();
+    if cn_int call_no > completed_up_to t src then
+      Itab.replace t.completed (addr_key src) (cn_int call_no);
     match t.handler with
     | None -> send_segment t ~dst:src (Segment.reject ~call_no)
     | Some handler ->
-      (* Server process per incoming call (§3.4.1). *)
-      ignore
-        (Host.spawn t.host ~label:"pairmsg.server" (fun () ->
-             handler ~src ~call_no body))
+      (* Server process per incoming call (§3.4.1), on a pooled worker
+         rather than a fresh fiber per call. *)
+      Host.run_pooled t.host ~label:"pairmsg.server" (fun () -> handler ~src ~call_no body)
   end
 
 let deliver_return t ~src ~call_no body =
@@ -409,7 +533,7 @@ let deliver_return t ~src ~call_no body =
           ("src", Tev.Int src.Addr.host);
           ("len", Tev.Int (Bytes.length body)) ]
       "deliver_return";
-  match Hashtbl.find_opt t.exchanges (src, call_no) with
+  match Itab.find_opt t.exchanges (call_key src call_no) with
   | Some x -> finish_exchange t x (Ok body)
   | None -> ()
 
@@ -421,16 +545,15 @@ let handle_data t ~src seg =
      is gone, or one so old it predates the dedup window.  A merely
      higher completed call number is NOT a replay — concurrent calls
      from one peer may arrive out of order. *)
+  let key = msg_key src msg_type call_no in
   let replayed =
     msg_type = Segment.Call
-    && ((Hashtbl.mem t.executed (src, call_no)
-         && not (Hashtbl.mem t.incoming (src, msg_type, call_no)))
-       || Int32.compare call_no (Int32.sub (completed_up_to t src) 64l) < 0)
+    && ((Itab.mem t.executed (call_key src call_no) && not (Itab.mem t.incoming key))
+       || cn_int call_no < completed_up_to t src - 64)
   in
   if not replayed then begin
-    let key = (src, msg_type, call_no) in
     let inc =
-      match Hashtbl.find_opt t.incoming key with
+      match Itab.find_opt t.incoming key with
       | Some inc -> inc
       | None ->
         let inc =
@@ -441,7 +564,7 @@ let handle_data t ~src seg =
             i_postponed_ack = false;
             i_body = Bytes.empty }
         in
-        Hashtbl.replace t.incoming key inc;
+        Itab.replace t.incoming key inc;
         inc
     in
     if not inc.i_complete then begin
@@ -475,7 +598,7 @@ let handle_data t ~src seg =
          return message will serve as the implicit acknowledgment. *)
       let awaiting_reply =
         msg_type = Segment.Call && inc.i_complete
-        && not (Hashtbl.mem t.outgoing (src, Segment.Return, call_no))
+        && not (Itab.mem t.outgoing (msg_key src Segment.Return call_no))
       in
       if awaiting_reply && not inc.i_postponed_ack then inc.i_postponed_ack <- true
       else send_ack t ~dst:src ~msg_type ~total:inc.i_total ~ack_no:inc.i_ack_no ~call_no
@@ -487,7 +610,7 @@ let handle_segment t ~src seg =
   | Segment.Probe -> handle_probe t ~src seg.Segment.call_no
   | Segment.Probe_ack -> touch_exchange t ~src ~call_no:seg.Segment.call_no
   | Segment.Reject -> (
-    match Hashtbl.find_opt t.exchanges (src, seg.Segment.call_no) with
+    match Itab.find_opt t.exchanges (call_key src seg.Segment.call_no) with
     | Some x -> finish_exchange t x (Error (Rejected src))
     | None -> ())
   | Segment.Call | Segment.Return ->
@@ -517,11 +640,11 @@ let create env host ?port ?(config = default_config) ?meter () =
       config;
       engine = Host.engine host;
       counter = 0l;
-      outgoing = Hashtbl.create 32;
-      incoming = Hashtbl.create 32;
-      exchanges = Hashtbl.create 32;
-      completed = Hashtbl.create 16;
-      executed = Hashtbl.create 64;
+      outgoing = Itab.create ~initial:32 ();
+      incoming = Itab.create ~initial:32 ();
+      exchanges = Itab.create ~initial:32 ();
+      completed = Itab.create ~initial:16 ();
+      executed = Itab.create ~initial:64 ();
       handler = None;
       closed = false;
       demux = None;
@@ -535,6 +658,6 @@ let close t =
   if not t.closed then begin
     t.closed <- true;
     (match t.demux with Some f -> Fiber.cancel f | None -> ());
-    Hashtbl.iter (fun _ x -> match x.x_watchdog with Some f -> Fiber.cancel f | None -> ()) t.exchanges;
+    Itab.iter (fun _ x -> watchdog_disarm t x) t.exchanges;
     Net.close t.sock
   end

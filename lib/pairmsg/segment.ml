@@ -89,9 +89,16 @@ let split_message ~mtu body =
   let seg_size = mtu - header_size in
   if seg_size <= 0 then invalid_arg "Segment.split_message: mtu too small";
   let len = Bytes.length body in
-  let count = if len = 0 then 1 else (len + seg_size - 1) / seg_size in
-  if count > 255 then invalid_arg "Segment.split_message: message too long (more than 255 segments)";
-  List.init count (fun i ->
-      let pos = i * seg_size in
-      let n = min seg_size (len - pos) in
-      Bytes.sub body pos n)
+  (* Single-segment fast path: every RPC-sized message takes it.  The
+     payload is still copied — callers may reuse [body]'s storage while
+     the segment sits in the retransmit queue. *)
+  if len <= seg_size then [| Bytes.sub body 0 len |]
+  else begin
+    let count = (len + seg_size - 1) / seg_size in
+    if count > 255 then
+      invalid_arg "Segment.split_message: message too long (more than 255 segments)";
+    Array.init count (fun i ->
+        let pos = i * seg_size in
+        let n = min seg_size (len - pos) in
+        Bytes.sub body pos n)
+  end

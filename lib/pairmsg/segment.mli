@@ -46,7 +46,7 @@ val decode : bytes -> t option
 val is_data : t -> bool
 val pp : Format.formatter -> t -> unit
 
-val split_message : mtu:int -> bytes -> bytes list
+val split_message : mtu:int -> bytes -> bytes array
 (** Split a message body into at most 255 segment payloads of at most
     [mtu - header_size] bytes.  Raises [Invalid_argument] if the
     message needs more than 255 segments. *)

@@ -13,23 +13,30 @@ exception Troupe_failed
    quantity the paper's voting discussion (§4.3.4) turns on. *)
 let tick name = if Trace.on () then Trace.incr ("rpc.collate." ^ name)
 
+(* The scan loops below thread their state through arguments of
+   top-level recursive functions rather than capturing it in closures:
+   collation runs once per RPC, and the closure-free form keeps the
+   whole vote-counting path out of the per-call allocation budget
+   (asserted by the allocation regression test). *)
 let unanimous ~total:_ replies =
   tick "unanimous";
-  let representative = ref None in
-  Seq.iter
-    (fun r ->
+  let rec scan repr s =
+    match s () with
+    | Seq.Nil -> ( match repr with Some msg -> msg | None -> raise Troupe_failed)
+    | Seq.Cons (r, rest) -> (
       match r.message with
-      | None -> ()  (* crashed member: correction, not disagreement *)
+      | None -> scan repr rest  (* crashed member: correction, not disagreement *)
       | Some msg -> (
-        match !representative with
-        | None -> representative := Some msg
+        match repr with
+        | None -> scan (Some msg) rest
         | Some first ->
           if msg <> first then begin
             tick "disagreement";
             raise Disagreement
-          end))
-    replies;
-  match !representative with Some msg -> msg | None -> raise Troupe_failed
+          end
+          else scan repr rest))
+  in
+  scan None replies
 
 let first_come ~total:_ replies =
   tick "first_come";
@@ -39,6 +46,16 @@ let first_come ~total:_ replies =
     | Seq.Cons (r, rest) -> ( match r.message with Some msg -> msg | None -> scan rest)
   in
   scan replies
+
+let rec find_vote msg votes =
+  match votes with
+  | [] -> None
+  | (m, n) :: rest -> if m = msg then Some n else find_vote msg rest
+
+let rec best_vote acc votes =
+  match votes with
+  | [] -> acc
+  | (_, n) :: rest -> best_vote (if !n > acc then !n else acc) rest
 
 (* Accept as soon as some message reaches [threshold] copies; fail as
    soon as it can no longer be reached. *)
@@ -54,12 +71,11 @@ let count_votes ~threshold ~total replies =
       | None ->
         (* A lost vote: can any message still reach the threshold? *)
         let remaining = total - !seen in
-        let best = List.fold_left (fun acc (_, n) -> max acc !n) 0 !votes in
-        if best + remaining < threshold then raise No_majority else scan rest
+        if best_vote 0 !votes + remaining < threshold then raise No_majority else scan rest
       | Some msg -> (
         let n =
-          match List.find_opt (fun (m, _) -> m = msg) !votes with
-          | Some (_, n) -> n
+          match find_vote msg !votes with
+          | Some n -> n
           | None ->
             let n = ref 0 in
             votes := (msg, n) :: !votes;
@@ -69,8 +85,7 @@ let count_votes ~threshold ~total replies =
         if !n >= threshold then msg
         else
           let remaining = total - !seen in
-          let best = List.fold_left (fun acc (_, n) -> max acc !n) 0 !votes in
-          if best + remaining < threshold then raise No_majority else scan rest))
+          if best_vote 0 !votes + remaining < threshold then raise No_majority else scan rest))
   in
   scan replies
 
@@ -109,12 +124,12 @@ let weighted_quorum ~weights ~threshold ~total replies =
       spent := !spent + w;
       match r.message with
       | None ->
-        let best = List.fold_left (fun acc (_, n) -> max acc !n) 0 !votes in
-        if best + (total_weight - !spent) < threshold then raise No_majority else scan rest
+        if best_vote 0 !votes + (total_weight - !spent) < threshold then raise No_majority
+        else scan rest
       | Some msg ->
         let n =
-          match List.find_opt (fun (m, _) -> m = msg) !votes with
-          | Some (_, n) -> n
+          match find_vote msg !votes with
+          | Some n -> n
           | None ->
             let n = ref 0 in
             votes := (msg, n) :: !votes;
@@ -122,9 +137,8 @@ let weighted_quorum ~weights ~threshold ~total replies =
         in
         n := !n + w;
         if !n >= threshold then msg
-        else
-          let best = List.fold_left (fun acc (_, n) -> max acc !n) 0 !votes in
-          if best + (total_weight - !spent) < threshold then raise No_majority else scan rest)
+        else if best_vote 0 !votes + (total_weight - !spent) < threshold then raise No_majority
+        else scan rest)
   in
   scan replies
 

@@ -44,6 +44,7 @@ and m2o = {
   mutable m2o_replied : Addr.t list;
   mutable m2o_state : m2o_state;
   mutable m2o_timer : Engine.handle option;
+  mutable m2o_expire : float;  (* retention deadline once [Done]; 0 while live *)
 }
 
 and t = {
@@ -61,7 +62,11 @@ and t = {
       (* when set, set_troupe_id on that module also renames our client
          identity — the process IS a member of that troupe *)
   mutable thread_counter : int;
-  m2o_table : (Ids.Thread_id.t * int64 * int, m2o) Hashtbl.t;
+  m2o_table : m2o Itab.t;  (* keyed by [m2o_key] *)
+  (* Single re-arming retention sweeper, replacing the per-call removal
+     event [execute] used to schedule: one engine timer per retention
+     period instead of one per completed call. *)
+  mutable sweeper_armed : bool;
 }
 
 and ctx = {
@@ -148,8 +153,22 @@ let reply_waiters t m2o msg =
     m2o.m2o_received
 
 (* Two call messages belong to the same replicated call iff they bear
-   the same thread ID and call sequence number (§4.3.2). *)
-let m2o_key (call : Rpc_msg.call) = (call.Rpc_msg.thread, call.Rpc_msg.seq, call.Rpc_msg.module_no)
+   the same thread ID and call sequence number (§4.3.2).  The identity
+   is folded into a 62-bit key for the flat [Itab]: [seq] is itself a
+   SplitMix64 digest whose distinctness across executions is already
+   probabilistic at 2^-64, so remixing the full (thread, seq, module)
+   identity down to 62 bits stays in the same risk class — two live
+   calls colliding requires a 2^-62 digest coincidence within one
+   retention window. *)
+let m2o_key (call : Rpc_msg.call) =
+  let thread = call.Rpc_msg.thread in
+  let meta =
+    (thread.Ids.Thread_id.origin lsl 40)
+    lxor (thread.Ids.Thread_id.pid lsl 16)
+    lxor call.Rpc_msg.module_no
+  in
+  Int64.to_int (mix64 (Int64.logxor call.Rpc_msg.seq (Int64.of_int meta)))
+  land 0x3FFFFFFFFFFFFFFF
 
 (* Cancel the straggler give-up timer and forget the handle.  Called
    whenever the call leaves [Waiting] (it becomes ready or a retention
@@ -164,7 +183,7 @@ let cancel_straggler m2o =
     Engine.cancel h
   | None -> ()
 
-let execute t export m2o =
+let rec execute t export m2o =
   if m2o.m2o_state = Waiting then begin
     m2o.m2o_state <- Executing;
     cancel_straggler m2o;
@@ -233,12 +252,42 @@ let execute t export m2o =
       | _, _ -> ())
     | Wait_all | Wait_majority | First_come _ -> ());
     (* Forget the call after the retention period; later duplicates are
-       answered by the paired message layer's own replay suppression. *)
-    ignore
-      (Engine.schedule t.engine ~delay:t.config.retention (fun () ->
-           cancel_straggler m2o;
-           Hashtbl.remove t.m2o_table (m2o_key call)))
+       answered by the paired message layer's own replay suppression.
+       Retirement is batched: entries are stamped with their deadline
+       and a single re-arming sweeper removes the expired ones, so the
+       steady-state path pushes no per-call event into the engine heap.
+       An entry may thus outlive its deadline by up to one sweep period
+       — a strictly larger dedup window, which only strengthens the
+       suppression guarantee. *)
+    m2o.m2o_expire <- Engine.now t.engine +. t.config.retention;
+    if not t.sweeper_armed then begin
+      t.sweeper_armed <- true;
+      ignore (Engine.schedule t.engine ~delay:t.config.retention (fun () -> sweep_retention t))
+    end
   end
+
+and sweep_retention t =
+  let now = Engine.now t.engine in
+  let expired = ref [] in
+  (* Only entries stamped by [execute] ([m2o_expire] > 0) ever expire;
+     re-arm only while some remain, so a table holding nothing but
+     still-waiting calls (e.g. their members all crashed) does not keep
+     the engine awake with perpetual sweeps. *)
+  let stamped_left = ref false in
+  Itab.iter
+    (fun key m2o ->
+      if m2o.m2o_expire > 0.0 then
+        if m2o.m2o_expire <= now then expired := (key, m2o) :: !expired
+        else stamped_left := true)
+    t.m2o_table;
+  List.iter
+    (fun (key, m2o) ->
+      cancel_straggler m2o;
+      Itab.remove t.m2o_table key)
+    !expired;
+  if !stamped_left then
+    ignore (Engine.schedule t.engine ~delay:t.config.retention (fun () -> sweep_retention t))
+  else t.sweeper_armed <- false
 
 (* Management procedures present in every exported interface, produced
    "automatically, in the same way that stub procedures are" (§6.2,
@@ -323,9 +372,9 @@ let handle_call t ~src ~pair_no (call : Rpc_msg.call) =
           in
           if ready then execute t export m2o
       in
-      let m2o =
-        match Hashtbl.find_opt t.m2o_table key with
-        | Some m2o -> m2o
+      let m2o, fresh =
+        match Itab.find_opt t.m2o_table key with
+        | Some m2o -> (m2o, false)
         | None ->
           (* Register before resolving the client troupe: resolution may
              block on a binding-agent lookup, and the other members'
@@ -336,29 +385,33 @@ let handle_call t ~src ~pair_no (call : Rpc_msg.call) =
               m2o_received = [];
               m2o_replied = [];
               m2o_state = Waiting;
-              m2o_timer = None }
+              m2o_timer = None;
+              m2o_expire = 0.0 }
           in
-          Hashtbl.replace t.m2o_table key m2o;
+          Itab.replace t.m2o_table key m2o;
           m2o.m2o_expected <- expected_calls t call.Rpc_msg.client_troupe;
-          (* Give up on silent client members after a timeout: they have
-             probably crashed (§4.3.5). *)
-          if m2o.m2o_state = Waiting then
-            m2o.m2o_timer <-
-              Some
-                (Engine.schedule t.engine ~delay:t.config.straggler_timeout (fun () ->
-                     (* This event just fired: drop the handle so no
-                        later [cancel_straggler] feeds a spent handle to
-                        [Engine.cancel]. *)
-                     m2o.m2o_timer <- None;
-                     if m2o.m2o_state = Waiting then
-                       ignore
-                         (Host.spawn t.host ~label:"rpc.straggler" (fun () ->
-                              execute t export m2o))));
-          m2o
+          (m2o, true)
       in
       if not (List.exists (fun (a, _, _) -> Addr.equal a src) m2o.m2o_received) then
         m2o.m2o_received <- (src, pair_no, call.Rpc_msg.args) :: m2o.m2o_received;
-      check_ready m2o
+      check_ready m2o;
+      (* Give up on silent client members after a timeout: they have
+         probably crashed (§4.3.5).  Armed only if this first call did
+         not already make the m2o ready — [check_ready] runs at the
+         same instant, so a call executed immediately (every singleton
+         client) never touches the engine heap at all. *)
+      if fresh && m2o.m2o_state = Waiting && m2o.m2o_timer = None then
+        m2o.m2o_timer <-
+          Some
+            (Engine.schedule t.engine ~delay:t.config.straggler_timeout (fun () ->
+                 (* This event just fired: drop the handle so no later
+                    [cancel_straggler] feeds a spent handle to
+                    [Engine.cancel]. *)
+                 m2o.m2o_timer <- None;
+                 if m2o.m2o_state = Waiting then
+                   ignore
+                     (Host.spawn t.host ~label:"rpc.straggler" (fun () ->
+                          execute t export m2o))))
     end
 
 let export_dispatch t policy dispatch =
@@ -432,55 +485,81 @@ let call_troupe_gen ctx (troupe : Troupe.t) ~proc_no ?(multicast = false) args =
           ("multicast", Tev.Bool multicast);
           ("seq", Tev.I64 call_seq) ]
       "call";
-  let merged = Mailbox.create t.engine in
+  let total = Troupe.size troupe in
+  let call_for module_no =
+    { Rpc_msg.thread = ctx.thread;
+      seq = call_seq;
+      client_troupe = t.self_troupe;
+      server_troupe = troupe.Troupe.id;
+      module_no;
+      proc_no;
+      args }
+  in
+  let member_of members from =
+    List.find (fun (m : Addr.module_addr) -> Addr.equal m.Addr.process from) members
+  in
+  let reply_of members { Endpoint.from; result } =
+    let message = match result with Ok body -> decode_return body | Error _ -> None in
+    { Collator.from = member_of members from; message }
+  in
   (* Members of a troupe may export the interface under different module
      numbers; group members whose call messages are identical so each
-     group can share one (possibly multicast) transmission. *)
-  let groups = Hashtbl.create 4 in
-  List.iter
-    (fun (m : Addr.module_addr) ->
-      let existing = try Hashtbl.find groups m.Addr.module_no with Not_found -> [] in
-      Hashtbl.replace groups m.Addr.module_no (m :: existing))
-    troupe.Troupe.members;
-  Hashtbl.iter
-    (fun module_no members ->
-      let call =
-        { Rpc_msg.thread = ctx.thread;
-          seq = call_seq;
-          client_troupe = t.self_troupe;
-          server_troupe = troupe.Troupe.id;
-          module_no;
-          proc_no;
-          args }
-      in
-      let payload = Codec.encode Rpc_msg.call_codec call in
-      let dsts = List.map (fun (m : Addr.module_addr) -> m.Addr.process) members in
-      let replies = Endpoint.call_many t.endpoint ~dsts ~multicast ~call_no:pair_no payload in
-      ignore
-        (Host.spawn t.host ~label:"rpc.merge" (fun () ->
-             List.iter
-               (fun _ ->
-                 match Mailbox.recv replies with
-                 | Some { Endpoint.from; result } ->
-                   let member =
-                     List.find (fun (m : Addr.module_addr) -> Addr.equal m.Addr.process from) members
-                   in
-                   let message =
-                     match result with Ok body -> decode_return body | Error _ -> None
-                   in
-                   Mailbox.send merged { Collator.from = member; message }
-                 | None -> ())
-               members)))
-    groups;
-  let total = Troupe.size troupe in
-  let rec take k () =
-    if k = 0 then Seq.Nil
-    else
-      match Mailbox.recv merged with
-      | Some reply -> Seq.Cons (reply, take (k - 1))
-      | None -> Seq.Nil
+     group can share one (possibly multicast) transmission.  Uniform
+     troupes — every member under one module number, which is every
+     singleton and almost every real troupe — take a direct path: the
+     caller consumes the endpoint's reply mailbox itself, decoding
+     inline, with no merge fiber and no second mailbox hop per reply. *)
+  let uniform =
+    match troupe.Troupe.members with
+    | [] -> true
+    | m0 :: rest -> List.for_all (fun (m : Addr.module_addr) -> m.Addr.module_no = m0.Addr.module_no) rest
   in
-  (total, Seq.memoize (take total))
+  if uniform then begin
+    let members = troupe.Troupe.members in
+    let module_no = match members with m0 :: _ -> m0.Addr.module_no | [] -> 0 in
+    let payload = Codec.encode Rpc_msg.call_codec (call_for module_no) in
+    let dsts = List.map (fun (m : Addr.module_addr) -> m.Addr.process) members in
+    let replies = Endpoint.call_many t.endpoint ~dsts ~multicast ~call_no:pair_no payload in
+    let rec take k () =
+      if k = 0 then Seq.Nil
+      else
+        match Mailbox.recv replies with
+        | Some r -> Seq.Cons (reply_of members r, take (k - 1))
+        | None -> Seq.Nil
+    in
+    (total, Seq.memoize (take total))
+  end
+  else begin
+    let merged = Mailbox.create t.engine in
+    let groups = Hashtbl.create 4 in
+    List.iter
+      (fun (m : Addr.module_addr) ->
+        let existing = try Hashtbl.find groups m.Addr.module_no with Not_found -> [] in
+        Hashtbl.replace groups m.Addr.module_no (m :: existing))
+      troupe.Troupe.members;
+    Hashtbl.iter
+      (fun module_no members ->
+        let payload = Codec.encode Rpc_msg.call_codec (call_for module_no) in
+        let dsts = List.map (fun (m : Addr.module_addr) -> m.Addr.process) members in
+        let replies = Endpoint.call_many t.endpoint ~dsts ~multicast ~call_no:pair_no payload in
+        ignore
+          (Host.spawn t.host ~label:"rpc.merge" (fun () ->
+               List.iter
+                 (fun _ ->
+                   match Mailbox.recv replies with
+                   | Some r -> Mailbox.send merged (reply_of members r)
+                   | None -> ())
+                 members)))
+      groups;
+    let rec take k () =
+      if k = 0 then Seq.Nil
+      else
+        match Mailbox.recv merged with
+        | Some reply -> Seq.Cons (reply, take (k - 1))
+        | None -> Seq.Nil
+    in
+    (total, Seq.memoize (take total))
+  end
 
 let interpret troupe_id = function
   | Rpc_msg.Ok_result body -> body
@@ -558,7 +637,8 @@ let create env host ?port ?(config = default_config) ?meter ?pairmsg_config () =
       self_troupe = Ids.Troupe_id.none;
       self_troupe_module = None;
       thread_counter = 0;
-      m2o_table = Hashtbl.create 32 }
+      m2o_table = Itab.create ~initial:32 ();
+      sweeper_armed = false }
   in
   Endpoint.set_handler endpoint (fun ~src ~call_no body ->
       match Codec.decode Rpc_msg.call_codec body with

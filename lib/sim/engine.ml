@@ -69,6 +69,19 @@ type t = {
   ready : Ready.t;  (* events due now, FIFO = (time, seq) order *)
   cell : Event_heap.cell;  (* cancelled-but-queued count *)
   root_prng : Prng.t;
+  (* Upper bound for [try_advance]: a [run ~until] horizon the clock
+     must not silently jump past.  Infinity outside such a run. *)
+  mutable horizon : float;
+  (* Innermost active [sleep_drain] deadline.  While a fiber is inline-
+     draining, no nested advance (jump or drain) may move the clock past
+     this point: the outer sleeper must wake exactly at its target,
+     before any later event.  Infinity when no drain is active. *)
+  mutable drain_limit : float;
+  (* Tick-boundary flush hooks (e.g. the network's datagram batcher):
+     invoked before the engine inspects its queues to pick the next
+     event or jump the clock, so work buffered during the current
+     instant is scheduled before any ordering decision is made. *)
+  mutable flush_hooks : (unit -> unit) list;
 }
 
 let create ?(seed = 42) () =
@@ -78,7 +91,17 @@ let create ?(seed = 42) () =
     heap = Event_heap.create ();
     ready = Ready.create ();
     cell = { Event_heap.cancelled_pending = 0 };
-    root_prng = Prng.create seed }
+    root_prng = Prng.create seed;
+    horizon = infinity;
+    drain_limit = infinity;
+    flush_hooks = [] }
+
+let add_flush_hook t f = t.flush_hooks <- t.flush_hooks @ [ f ]
+
+(* Almost always an empty-list check; hooks themselves are expected to
+   no-op when they have nothing buffered. *)
+let[@inline] run_flush_hooks t =
+  match t.flush_hooks with [] -> () | hooks -> List.iter (fun f -> f ()) hooks
 
 let now t = t.now
 let prng t = t.root_prng
@@ -145,6 +168,7 @@ let[@inline] pop_next t =
 
 (* Cancelled events are dropped without advancing the clock. *)
 let rec step t =
+  run_flush_hooks t;
   if Ready.length t.ready = 0 && Event_heap.is_empty t.heap then false
   else begin
     let ev = pop_next t in
@@ -175,6 +199,88 @@ let rec drop_cancelled t =
     drop_cancelled t
   end
 
+(* Advance the clock to [target] without executing anything, provided
+   doing so is observationally equivalent to scheduling a wake event at
+   [target] and draining the queue up to it: nothing is due at the
+   current instant and every queued event lies strictly beyond [target]
+   (an event at exactly [target] was scheduled earlier, so it would have
+   run before the hypothetical wake).  This is the [Fiber.sleep] fast
+   path: a lone sleeper — the overwhelmingly common shape under
+   [Host.use_cpu] — skips the suspend/schedule/resume machinery
+   entirely.  Refused beyond a [run ~until] horizon so bounded runs
+   still stop at their boundary. *)
+let try_advance t ~target =
+  target <= t.horizon
+  && target <= t.drain_limit
+  && begin
+       run_flush_hooks t;
+       drop_cancelled t;
+       Ready.length t.ready = 0
+       && (Event_heap.is_empty t.heap || (Event_heap.peek_exn t.heap).time > target)
+       && begin
+            if target > t.now then t.now <- target;
+            true
+          end
+     end
+
+(* Inline-drain variant of the sleep fast path, for the CPU-charge
+   pattern ([Host.use_cpu]): execute due events on the sleeper's stack
+   instead of suspending around them.  An event is due if it precedes
+   the wake the slow path would have scheduled — (time, seq) strictly
+   below [(target, seq at entry)].  Executing it here is exactly what
+   the engine loop would have done while the sleeper was parked, so the
+   total event order is unchanged; the sleeper then wakes at [target]
+   by jumping the clock, precisely where its wake event would have
+   fired.
+
+   Nesting: a drained event may resume another fiber that charges CPU
+   and drains in turn.  [drain_limit] (the innermost active target)
+   caps every nested advance, so an inner sleeper can never move the
+   clock past an outer sleeper's wake point — an inner sleep reaching
+   further than the outer target falls back to a real suspension.
+   Depth is bounded by the number of simultaneously-charging fibers.
+   [budget] bounds the number of events drained per call as a stack
+   safeguard; on exhaustion the caller falls back to suspending.
+
+   Returns [false] (clock untouched beyond drained events) if the
+   caller must suspend instead: budget ran out, the target overshoots
+   a horizon or an outer drain, or the fiber was cancelled by a
+   drained event (the suspending path is where cancellation raises). *)
+let sleep_drain t ~target ~cancelled =
+  if target > t.horizon || target > t.drain_limit then false
+  else begin
+    let seq_limit = t.seq in
+    let saved = t.drain_limit in
+    t.drain_limit <- target;
+    let budget = ref 256 in
+    let verdict = ref None in
+    while !verdict = None do
+      if cancelled () then verdict := Some false
+      else begin
+        run_flush_hooks t;
+        drop_cancelled t;
+        let due =
+          Ready.length t.ready > 0
+          || (not (Event_heap.is_empty t.heap))
+             &&
+             let ev = Event_heap.peek_exn t.heap in
+             ev.time < target || (ev.time = target && ev.seq < seq_limit)
+        in
+        if not due then begin
+          if target > t.now then t.now <- target;
+          verdict := Some true
+        end
+        else if !budget = 0 then verdict := Some false
+        else begin
+          decr budget;
+          ignore (step t)
+        end
+      end
+    done;
+    t.drain_limit <- saved;
+    Option.get !verdict
+  end
+
 let run ?until ?(max_events = 50_000_000) t =
   let executed = ref 0 in
   let continue_run = ref true in
@@ -185,7 +291,9 @@ let run ?until ?(max_events = 50_000_000) t =
       if step t then incr executed else continue_run := false
     done
   | Some horizon ->
+    t.horizon <- horizon;
     while !continue_run && !executed < max_events do
+      run_flush_hooks t;
       drop_cancelled t;
       let have_ready = Ready.length t.ready > 0 in
       let have_heap = not (Event_heap.is_empty t.heap) in
@@ -206,8 +314,11 @@ let run ?until ?(max_events = 50_000_000) t =
           incr executed
         end
       end
-    done);
+    done;
+    t.horizon <- infinity);
   if !executed >= max_events then
     invalid_arg "Engine.run: max_events exceeded (runaway simulation?)"
 
-let pending t = Event_heap.length t.heap + Ready.length t.ready
+let pending t =
+  run_flush_hooks t;
+  Event_heap.length t.heap + Ready.length t.ready

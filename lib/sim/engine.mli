@@ -52,6 +52,42 @@ val schedule_abs : t -> at:float -> (unit -> unit) -> handle
 val cancel : handle -> unit
 (** Prevent a pending event from firing; no-op if it already fired. *)
 
+val add_flush_hook : t -> (unit -> unit) -> unit
+(** Register a tick-boundary flush hook.  Hooks run (in registration
+    order) every time the engine is about to inspect its queues — to
+    pick the next event, jump the clock ({!try_advance}), inline-drain
+    ({!sleep_drain}), or report {!pending} — so a component that
+    buffers work during the current instant (e.g. the network's
+    datagram batcher) can schedule it before any ordering decision is
+    made.  Hooks must be cheap no-ops when they have nothing buffered,
+    must not call back into the engine's queue-inspection entry points,
+    and cannot be unregistered: register one hook per long-lived
+    component. *)
+
+val sleep_drain : t -> target:float -> cancelled:(unit -> bool) -> bool
+(** [sleep_drain t ~target ~cancelled] is {!Fiber.sleep_busy}'s fast
+    path: execute every event due strictly before the wake that a
+    suspending sleep would have scheduled at [target] — on the caller's
+    stack, in exactly the engine's (time, seq) order — then jump the
+    clock to [target] and return [true].  Returns [false], leaving any
+    drained events executed but the clock short of [target], when the
+    caller must fall back to a real suspension: the drain budget ran
+    out, [target] overshoots a [run ~until] horizon or an enclosing
+    drain's deadline, or [cancelled ()] turned true (cancellation is
+    raised on the suspending path).  [cancelled] is polled between
+    drained events. *)
+
+val try_advance : t -> target:float -> bool
+(** [try_advance t ~target] advances the clock to [target] and returns
+    [true] iff doing so executes nothing out of order: no event is due
+    at the current instant and every queued event lies strictly beyond
+    [target] (and [target] does not overshoot an active [run ~until]
+    horizon).  Equivalent to scheduling a wake at [target] and draining
+    the queue up to it — this is {!Fiber.sleep}'s fast path, which
+    skips the suspend/schedule/resume machinery when the sleeper is the
+    only thing the simulation is waiting on.  [false] leaves the clock
+    untouched. *)
+
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Drain the event queue.  Stops when the queue is empty, when the
     next event lies beyond [until], or after [max_events] events

@@ -16,11 +16,34 @@ type t = {
   mutable state : state;
   mutable cancel_requested : bool;
   mutable terminate_callbacks : (unit -> unit) list;
+  (* Consecutive [sleep]s served by [Engine.try_advance] without a real
+     suspension.  Capped so a fiber sleeping in a tight loop still
+     yields to the engine periodically and remains subject to the
+     [run ~max_events] runaway guard. *)
+  mutable ff_streak : int;
 }
 
 type _ Effect.t +=
   | Suspend : ('a waker -> unit) * (unit -> unit) -> 'a Effect.t
+  | Sleep : float -> unit Effect.t
   | Self : t Effect.t
+
+(* The fiber currently executing, if any.  Maintained by every site
+   that transfers control onto a fiber stack ([match_with] at spawn,
+   [continue]/[discontinue] at resume): set before the transfer,
+   restored after it returns.  Restoring (rather than clearing) keeps
+   the value correct under inline drains ([Engine.sleep_drain]), where
+   fiber B is resumed by an event executing on fiber A's stack.  This
+   makes [self] a load instead of an [Effect.perform] round-trip — the
+   single hottest operation in the simulation, performed once per CPU
+   charge.  The [Self] effect remains as a correctness fallback. *)
+let current : t option ref = ref None
+
+let[@inline] enter fiber f =
+  let prev = !current in
+  current := Some fiber;
+  f ();
+  current := prev
 
 let default_uncaught fiber e =
   Printf.eprintf "fiber %d (%s): uncaught exception\n%!" fiber.id fiber.label_;
@@ -43,7 +66,8 @@ let spawn engine ?(label = "fiber") f =
       label_ = label;
       state = Running;
       cancel_requested = false;
-      terminate_callbacks = [] }
+      terminate_callbacks = [];
+      ff_streak = 0 }
   in
   let handler : (unit, unit) Effect.Deep.handler =
     { retc = (fun () -> finish fiber);
@@ -56,6 +80,48 @@ let spawn engine ?(label = "fiber") f =
           match eff with
           | Self ->
             Some (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k fiber)
+          | Sleep duration ->
+            (* Timer-only suspension: the expiry callback runs in the
+               engine loop and transfers control straight back to the
+               fiber — one event instead of the generic Suspend path's
+               timer + deferred-resume pair.  Cancellation still goes
+               through a scheduled discontinue so the canceller's stack
+               is never nested into ours. *)
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let fired = ref false in
+                let timer = ref None in
+                let wake_err e =
+                  if not !fired then begin
+                    fired := true;
+                    (match !timer with Some h -> Engine.cancel h | None -> ());
+                    ignore
+                      (Engine.schedule engine ~delay:0.0 (fun () ->
+                           fiber.state <- Running;
+                           if Trace.on () then
+                             Trace.emit ~cat:"fiber" ~fiber:fiber.id
+                               ~args:[ ("ok", Circus_trace.Event.Bool false) ]
+                               "resume";
+                           enter fiber (fun () -> Effect.Deep.discontinue k e)))
+                  end
+                in
+                if fiber.cancel_requested then wake_err Cancelled
+                else begin
+                  if Trace.on () then Trace.emit ~cat:"fiber" ~fiber:fiber.id "block";
+                  fiber.state <- Suspended wake_err;
+                  timer :=
+                    Some
+                      (Engine.schedule engine ~delay:duration (fun () ->
+                           if not !fired then begin
+                             fired := true;
+                             fiber.state <- Running;
+                             if Trace.on () then
+                               Trace.emit ~cat:"fiber" ~fiber:fiber.id
+                                 ~args:[ ("ok", Circus_trace.Event.Bool true) ]
+                                 "resume";
+                             enter fiber (fun () -> Effect.Deep.continue k ())
+                           end))
+                end)
           | Suspend (register, on_abort) ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
@@ -79,9 +145,10 @@ let spawn engine ?(label = "fiber") f =
                                ~args:
                                  [ ("ok", Circus_trace.Event.Bool (Result.is_ok r)) ]
                                "resume";
-                           match r with
-                           | Ok v -> Effect.Deep.continue k v
-                           | Error e -> Effect.Deep.discontinue k e))
+                           enter fiber (fun () ->
+                               match r with
+                               | Ok v -> Effect.Deep.continue k v
+                               | Error e -> Effect.Deep.discontinue k e)))
                   end
                 in
                 if fiber.cancel_requested then wake (Error Cancelled)
@@ -100,23 +167,65 @@ let spawn engine ?(label = "fiber") f =
   ignore
     (Engine.schedule engine ~delay:0.0 (fun () ->
          if fiber.cancel_requested then finish fiber
-         else Effect.Deep.match_with f () handler));
+         else enter fiber (fun () -> Effect.Deep.match_with f () handler)));
   fiber
 
-let self () = Effect.perform Self
+let self () =
+  match !current with Some f -> f | None -> Effect.perform Self
 let engine () = (self ()).engine_
 let label t = t.label_
 let id t = t.id
 let no_cleanup () = ()
 let suspend ?(on_abort = no_cleanup) register = Effect.perform (Suspend (register, on_abort))
 
+let ff_streak_cap = 1024
+
 let sleep duration =
-  let eng = engine () in
-  let timer = ref None in
-  suspend
-    (* Cancelled while asleep: remove the stale timer event. *)
-    ~on_abort:(fun () -> match !timer with Some h -> Engine.cancel h | None -> ())
-    (fun wake -> timer := Some (Engine.schedule eng ~delay:duration (fun () -> wake (Ok ()))))
+  let fiber = self () in
+  let eng = fiber.engine_ in
+  (* Fast path: when nothing else is due before the deadline, jump the
+     clock instead of suspending — observationally identical to the
+     schedule-and-wake below (see [Engine.try_advance]), minus the
+     suspend/resume event pair.  A cancellation request or a long
+     fast-forward streak falls through to the suspending path, which is
+     where cancellation is raised and engine accounting happens. *)
+  if
+    duration > 0.0
+    && (not fiber.cancel_requested)
+    && fiber.ff_streak < ff_streak_cap
+    && Engine.try_advance eng ~target:(Engine.now eng +. duration)
+  then fiber.ff_streak <- fiber.ff_streak + 1
+  else begin
+    fiber.ff_streak <- 0;
+    Effect.perform (Sleep duration)
+  end
+
+(* CPU-charge sleep ([Host.use_cpu]): same contract as [sleep], but when
+   other events are due before the deadline, execute them inline on this
+   stack ([Engine.sleep_drain]) instead of suspending around them.  The
+   event order is exactly what the engine loop would have produced; the
+   win is skipping the park/resume pair for the most frequent sleep in
+   the simulation.  Falls back to the suspending path on cancellation,
+   drain-budget exhaustion, or a deadline beyond an enclosing drain. *)
+let sleep_busy duration =
+  let fiber = self () in
+  let eng = fiber.engine_ in
+  let target = Engine.now eng +. duration in
+  if
+    duration > 0.0
+    && (not fiber.cancel_requested)
+    && fiber.ff_streak < ff_streak_cap
+    && (Engine.try_advance eng ~target
+       || Engine.sleep_drain eng ~target ~cancelled:(fun () -> fiber.cancel_requested))
+  then fiber.ff_streak <- fiber.ff_streak + 1
+  else begin
+    fiber.ff_streak <- 0;
+    (* The drain may have executed events and advanced the clock; sleep
+       only the remainder so the wake still lands at the original
+       target instant. *)
+    let remaining = target -. Engine.now eng in
+    Effect.perform (Sleep (if remaining > 0.0 then remaining else 0.0))
+  end
 
 let yield () = sleep 0.0
 

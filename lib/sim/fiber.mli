@@ -35,6 +35,13 @@ val engine : unit -> Engine.t
 val label : t -> string
 val id : t -> int
 
+val sleep_busy : float -> unit
+(** Like {!sleep}, for the CPU-charge pattern ({!val:sleep} callers that
+    model busy time, i.e. [Host.use_cpu]): when other events are due
+    before the deadline, execute them inline on this fiber's stack
+    ({!Engine.sleep_drain}) instead of suspending around them.  Event
+    order and the virtual clock behave exactly as with {!sleep}. *)
+
 val sleep : float -> unit
 (** Block for a duration of virtual time. *)
 

@@ -1,0 +1,113 @@
+(* Flat open-addressing hash table with non-negative int keys.
+
+   The protocol stack keys its per-call state by small composites —
+   (peer address, message type, call number) and the like — which pack
+   into a single 62-bit integer.  A generic [Hashtbl] over those
+   composites allocates a key tuple per lookup and hashes it
+   structurally; this table keeps keys in one int array and values in a
+   parallel array, so the steady-state find/replace/remove path
+   performs no allocation at all.
+
+   Deletions leave tombstones (key [-2]); the table resizes — which
+   also sweeps tombstones — when live entries plus tombstones fill half
+   the capacity.  A removed slot keeps its last value until the slot is
+   reused or the table resizes; values are small per-call records, so
+   the transient retention is bounded and harmless. *)
+
+type 'a t = {
+  mutable keys : int array;
+  mutable vals : 'a array;
+  mutable live : int;
+  mutable fill : int;  (* live + tombstones *)
+}
+
+let empty_slot = -1
+let tombstone = -2
+
+let create ?(initial = 16) () =
+  let rec pow2 n = if n >= initial then n else pow2 (2 * n) in
+  let cap = pow2 8 in
+  { keys = Array.make cap empty_slot; vals = [||]; live = 0; fill = 0 }
+
+let length t = t.live
+
+(* Fibonacci hashing: spreads consecutive packed keys across the
+   table.  Capacity is a power of two, so masking suffices. *)
+let[@inline] slot_of t key =
+  let mask = Array.length t.keys - 1 in
+  (key * 0x2545F4914F6CDD1D) land mask
+
+let[@inline] next_slot t i = (i + 1) land (Array.length t.keys - 1)
+
+let rec find_slot t key i =
+  let k = t.keys.(i) in
+  if k = key then i else if k = empty_slot then -1 else find_slot t key (next_slot t i)
+
+let find_opt t key =
+  if key < 0 then invalid_arg "Itab.find_opt: negative key";
+  if t.live = 0 then None
+  else
+    let i = find_slot t key (slot_of t key) in
+    if i < 0 then None else Some t.vals.(i)
+
+let mem t key =
+  if key < 0 then invalid_arg "Itab.mem: negative key";
+  t.live > 0 && find_slot t key (slot_of t key) >= 0
+
+let rec insert_fresh t key v i =
+  let k = t.keys.(i) in
+  if k = empty_slot || k = tombstone then begin
+    t.keys.(i) <- key;
+    t.vals.(i) <- v;
+    if k = empty_slot then t.fill <- t.fill + 1;
+    t.live <- t.live + 1
+  end
+  else insert_fresh t key v (next_slot t i)
+
+let resize t =
+  let old_keys = t.keys and old_vals = t.vals in
+  (* Grow only when at least half the occupancy is live; otherwise the
+     fill is tombstones and sweeping them at the same capacity is
+     enough. *)
+  let cap = Array.length old_keys in
+  let cap = if 2 * t.live >= cap then 2 * cap else cap in
+  t.keys <- Array.make cap empty_slot;
+  t.vals <- (if t.live = 0 then [||] else Array.make cap old_vals.(0));
+  t.fill <- 0;
+  let live = t.live in
+  t.live <- 0;
+  Array.iteri
+    (fun i k -> if k >= 0 then insert_fresh t k old_vals.(i) (slot_of t k))
+    old_keys;
+  assert (t.live = live)
+
+let replace t key v =
+  if key < 0 then invalid_arg "Itab.replace: negative key";
+  if t.vals = [||] then t.vals <- Array.make (Array.length t.keys) v;
+  let i = if t.live = 0 then -1 else find_slot t key (slot_of t key) in
+  if i >= 0 then t.vals.(i) <- v
+  else begin
+    if 2 * (t.fill + 1) > Array.length t.keys then begin
+      resize t;
+      if t.vals = [||] then t.vals <- Array.make (Array.length t.keys) v
+    end;
+    insert_fresh t key v (slot_of t key)
+  end
+
+let remove t key =
+  if key < 0 then invalid_arg "Itab.remove: negative key";
+  if t.live > 0 then begin
+    let i = find_slot t key (slot_of t key) in
+    if i >= 0 then begin
+      t.keys.(i) <- tombstone;
+      t.live <- t.live - 1
+    end
+  end
+
+let iter f t =
+  Array.iteri (fun i k -> if k >= 0 then f k t.vals.(i)) t.keys
+
+let fold f t init =
+  let acc = ref init in
+  Array.iteri (fun i k -> if k >= 0 then acc := f k t.vals.(i) !acc) t.keys;
+  !acc

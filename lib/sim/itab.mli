@@ -1,0 +1,32 @@
+(** Flat open-addressing hash table keyed by non-negative integers.
+
+    Used by the protocol stack for per-call state keyed by small
+    composites (peer address, message type, call number) packed into a
+    single int.  Unlike a generic [Hashtbl] over a key tuple, the
+    steady-state find/replace/remove path allocates nothing.
+
+    Keys must be non-negative; [-1] and [-2] are reserved as the empty
+    and tombstone markers.  Operations raise [Invalid_argument] on a
+    negative key. *)
+
+type 'a t
+
+val create : ?initial:int -> unit -> 'a t
+(** [create ()] is an empty table. [initial] is a capacity hint
+    (rounded up to a power of two, minimum 8). *)
+
+val length : 'a t -> int
+val mem : 'a t -> int -> bool
+val find_opt : 'a t -> int -> 'a option
+
+val replace : 'a t -> int -> 'a -> unit
+(** Insert or overwrite the binding for a key. *)
+
+val remove : 'a t -> int -> unit
+(** Remove the binding if present; no-op otherwise. *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Iterate over live bindings in unspecified order.  The callback must
+    not add bindings; removing the visited binding is allowed. *)
+
+val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b

@@ -1,0 +1,271 @@
+(* Tests for the tick-boundary datagram batcher ([Net.set_batching]):
+   coalescing of same-instant copies, byte-identical traces across
+   equal-seed batched runs (pairmsg and rpc), equivalence of the
+   application-visible message sequence with the unbatched path under
+   loss / duplication / extra delay, and a steady-state allocation
+   budget on the replicated-call hot path. *)
+
+open Circus_sim
+open Circus_net
+open Circus_pairmsg
+open Circus_rpc
+module Trace = Circus_trace.Trace
+module Export = Circus_trace.Export
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing: same-instant copies to one destination ride one event. *)
+
+(* Zero jitter and zero per-byte time so every copy injected at one
+   instant arrives at one instant — the only configuration where
+   grouping is observable as an event-count difference. *)
+let zero_jitter = { Net.default_params with jitter_mean = 0.0; per_byte = 0.0 }
+
+let send_burst ~batching () =
+  let engine = Engine.create () in
+  let net = Net.create engine ~params:zero_jitter () in
+  let a = Net.add_host net ~name:"a" () in
+  let b = Net.add_host net ~name:"b" () in
+  let c = Net.add_host net ~name:"c" () in
+  let sa = Net.udp_bind net a ~port:10 () in
+  let sb = Net.udp_bind net b ~port:10 () in
+  let sc = Net.udp_bind net c ~port:10 () in
+  Net.set_batching net batching;
+  let src = Net.socket_addr sa in
+  List.iter
+    (fun (dst, payload) -> Net.send net ~src ~dst (Bytes.of_string payload))
+    [ (Net.socket_addr sb, "1");
+      (Net.socket_addr sb, "2");
+      (Net.socket_addr sb, "3");
+      (Net.socket_addr sc, "x") ];
+  (* [pending] flushes the batcher before counting, so this is the
+     number of delivery events actually carrying the four copies. *)
+  let events = Engine.pending engine in
+  Engine.run engine;
+  let drain sock =
+    let rec go acc =
+      match Mailbox.try_recv (Net.mailbox sock) with
+      | Some d -> go (Bytes.to_string d.Net.payload :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  (events, drain sb, drain sc, (Net.stats net).delivered)
+
+let test_batch_coalesces_same_instant () =
+  let ev_b, to_b_b, to_c_b, delivered_b = send_burst ~batching:true () in
+  let ev_u, to_b_u, to_c_u, delivered_u = send_burst ~batching:false () in
+  Alcotest.(check int) "unbatched: one event per copy" 4 ev_u;
+  Alcotest.(check int) "batched: one event per (dst, arrival)" 2 ev_b;
+  Alcotest.(check int) "batched delivers all copies" 4 delivered_b;
+  Alcotest.(check int) "unbatched delivers all copies" 4 delivered_u;
+  Alcotest.(check (list string)) "batched order = send order" [ "1"; "2"; "3" ] to_b_b;
+  Alcotest.(check (list string)) "unbatched order = send order" [ "1"; "2"; "3" ] to_b_u;
+  Alcotest.(check (list string)) "second destination batched" [ "x" ] to_c_b;
+  Alcotest.(check (list string)) "second destination unbatched" [ "x" ] to_c_u
+
+let test_disable_flushes_buffered () =
+  let engine = Engine.create () in
+  let net = Net.create engine ~params:zero_jitter () in
+  let a = Net.add_host net ~name:"a" () in
+  let b = Net.add_host net ~name:"b" () in
+  let sa = Net.udp_bind net a ~port:10 () in
+  let sb = Net.udp_bind net b ~port:10 () in
+  Net.set_batching net true;
+  Net.send net ~src:(Net.socket_addr sa) ~dst:(Net.socket_addr sb) (Bytes.of_string "y");
+  Net.set_batching net false;
+  Alcotest.(check bool) "batching reads off" false (Net.batching net);
+  Engine.run engine;
+  match Mailbox.try_recv (Net.mailbox sb) with
+  | Some d -> Alcotest.(check string) "buffered copy delivered" "y" (Bytes.to_string d.Net.payload)
+  | None -> Alcotest.fail "copy buffered at disable time was lost"
+
+(* ------------------------------------------------------------------ *)
+(* Equal seeds => byte-identical batched traces (pairmsg). *)
+
+let run_pairmsg_traced ~batching ~seed =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~params:(Net.lan ~loss:0.1 ~duplication:0.15 ()) () in
+  let env = Syscall.make net () in
+  let server_host = Net.add_host net ~name:"server" () in
+  let client_host = Net.add_host net ~name:"client" () in
+  Net.set_batching net batching;
+  let sink = Trace.start ~clock:(fun () -> Engine.now engine) () in
+  let server = Endpoint.create env server_host ~port:50 () in
+  Endpoint.serve server (fun ~src:_ body -> body);
+  let replies = ref [] in
+  ignore
+    (Host.spawn client_host (fun () ->
+         let ep = Endpoint.create env client_host () in
+         for i = 1 to 8 do
+           let reply =
+             Endpoint.call ep ~dst:(Endpoint.addr server)
+               (Bytes.of_string (Printf.sprintf "m%d" i))
+           in
+           replies := Bytes.to_string reply :: !replies
+         done;
+         Endpoint.close ep));
+  Engine.run engine;
+  Trace.stop ();
+  (Export.jsonl sink, List.rev !replies)
+
+let prop_batched_pairmsg_trace_deterministic =
+  QCheck.Test.make ~name:"equal seeds: batched pairmsg traces byte-identical" ~count:20
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let trace1, replies1 = run_pairmsg_traced ~batching:true ~seed in
+      let trace2, replies2 = run_pairmsg_traced ~batching:true ~seed in
+      trace1 = trace2 && replies1 = replies2)
+
+(* ------------------------------------------------------------------ *)
+(* Equal seeds => byte-identical batched traces (rpc). *)
+
+let run_rpc ~batching ~traced ~seed =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~params:(Net.lan ~loss:0.05 ~duplication:0.1 ()) () in
+  let env = Syscall.make net () in
+  let served = ref [] in
+  let members =
+    List.init 3 (fun i ->
+        let h = Net.add_host net ~name:(Printf.sprintf "server%d" i) () in
+        let rt = Runtime.create env h ~port:50 () in
+        let module_no =
+          Runtime.export rt (fun _ctx ~proc_no:_ body ->
+              served := Printf.sprintf "s%d:%s" i (Bytes.to_string body) :: !served;
+              body)
+        in
+        Runtime.module_addr rt module_no)
+  in
+  let troupe = Troupe.make ~id:42L ~members in
+  let client_host = Net.add_host net ~name:"client" () in
+  let rt = Runtime.create env client_host () in
+  Net.set_batching net batching;
+  let sink = if traced then Some (Trace.start ~clock:(fun () -> Engine.now engine) ()) else None in
+  let replies = ref [] in
+  ignore
+    (Runtime.spawn_thread rt (fun ctx ->
+         for i = 1 to 5 do
+           let r =
+             Runtime.call_troupe ctx troupe ~proc_no:0 (Bytes.of_string (Printf.sprintf "q%d" i))
+           in
+           replies := Bytes.to_string r :: !replies
+         done));
+  Engine.run engine;
+  let trace =
+    match sink with
+    | Some sink ->
+      Trace.stop ();
+      Export.jsonl sink
+    | None -> ""
+  in
+  (trace, List.rev !replies, List.rev !served)
+
+let prop_batched_rpc_trace_deterministic =
+  QCheck.Test.make ~name:"equal seeds: batched rpc traces byte-identical" ~count:15
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let t1, r1, s1 = run_rpc ~batching:true ~traced:true ~seed in
+      let t2, r2, s2 = run_rpc ~batching:true ~traced:true ~seed in
+      t1 = t2 && r1 = r2 && s1 = s2)
+
+(* ------------------------------------------------------------------ *)
+(* Batched vs unbatched: same application-visible sequence under
+   loss, duplication, and extra delay (the circus_fault knobs). *)
+
+let run_visible ~batching ~seed =
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine ~params:(Net.lan ~loss:0.12 ~duplication:0.2 ()) () in
+  (* Extra exponential delay via the fault-injection knob, so delayed
+     copies exercise the batcher's precomputed-arrival path. *)
+  Net.set_extra_delay_mean net 0.4e-3;
+  let env = Syscall.make net () in
+  let server_host = Net.add_host net ~name:"server" () in
+  let client_host = Net.add_host net ~name:"client" () in
+  Net.set_batching net batching;
+  let log = ref [] in
+  let server = Endpoint.create env server_host ~port:50 () in
+  Endpoint.serve server (fun ~src:_ body ->
+      log := ("srv:" ^ Bytes.to_string body) :: !log;
+      body);
+  ignore
+    (Host.spawn client_host (fun () ->
+         let ep = Endpoint.create env client_host () in
+         for i = 1 to 10 do
+           let reply =
+             Endpoint.call ep ~dst:(Endpoint.addr server)
+               (Bytes.of_string (Printf.sprintf "m%d" i))
+           in
+           log := ("rep:" ^ Bytes.to_string reply) :: !log
+         done;
+         Endpoint.close ep));
+  Engine.run engine;
+  List.rev !log
+
+let prop_batched_equals_unbatched_sequence =
+  QCheck.Test.make
+    ~name:"batched run sees the sequence an unbatched run sees (loss/dup/delay)" ~count:20
+    QCheck.(int_range 1 100_000)
+    (fun seed -> run_visible ~batching:true ~seed = run_visible ~batching:false ~seed)
+
+let prop_batched_equals_unbatched_rpc =
+  QCheck.Test.make ~name:"batched rpc run matches unbatched replies and executions" ~count:10
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let _, r1, s1 = run_rpc ~batching:true ~traced:false ~seed in
+      let _, r2, s2 = run_rpc ~batching:false ~traced:false ~seed in
+      r1 = r2 && s1 = s2)
+
+(* ------------------------------------------------------------------ *)
+(* Steady-state allocation budget on the replicated-call path.  This
+   pins the Collator / duplicate-suppression work at fixed cost: a
+   regression that reintroduces per-call closures or per-call table
+   churn shows up as a jump in bytes allocated per call.  The budget
+   is ~1.5x the measured figure to stay robust across compiler
+   versions while still catching structural regressions. *)
+
+let test_call_alloc_budget () =
+  let engine = Engine.create () in
+  let net = Net.create engine () in
+  let env = Syscall.make net ~costs:Syscall.fast_costs () in
+  let members =
+    List.init 3 (fun i ->
+        let h = Net.add_host net ~name:(Printf.sprintf "server%d" i) () in
+        let rt = Runtime.create env h ~port:50 () in
+        let module_no = Runtime.export rt (fun _ctx ~proc_no:_ body -> body) in
+        Runtime.module_addr rt module_no)
+  in
+  let troupe = Troupe.make ~id:42L ~members in
+  let client_host = Net.add_host net ~name:"client" () in
+  let rt = Runtime.create env client_host () in
+  let iters = 40 in
+  let per_call = ref infinity in
+  ignore
+    (Runtime.spawn_thread rt (fun ctx ->
+         let body = Bytes.create 64 in
+         (* Warm-up: populate tables, pools, and scratch buffers. *)
+         for _ = 1 to 8 do
+           ignore (Runtime.call_troupe ctx troupe ~proc_no:0 body)
+         done;
+         let before = Gc.allocated_bytes () in
+         for _ = 1 to iters do
+           ignore (Runtime.call_troupe ctx troupe ~proc_no:0 body)
+         done;
+         per_call := (Gc.allocated_bytes () -. before) /. float_of_int iters));
+  Engine.run engine;
+  let budget = 80_000.0 in
+  if not (!per_call < budget) then
+    Alcotest.failf "replicated call allocates %.0f bytes/call (budget %.0f)" !per_call budget
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "circus_batching"
+    [ ( "coalescing",
+        [ Alcotest.test_case "same-instant copies share an event" `Quick
+            test_batch_coalesces_same_instant;
+          Alcotest.test_case "disabling flushes buffered copies" `Quick
+            test_disable_flushes_buffered ] );
+      ( "determinism",
+        qcheck [ prop_batched_pairmsg_trace_deterministic; prop_batched_rpc_trace_deterministic ]
+      );
+      ( "equivalence",
+        qcheck [ prop_batched_equals_unbatched_sequence; prop_batched_equals_unbatched_rpc ] );
+      ("allocation", [ Alcotest.test_case "per-call budget" `Quick test_call_alloc_budget ]) ]
