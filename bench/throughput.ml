@@ -18,10 +18,13 @@
    --max-regress PCT with --baseline, exit non-zero if any bench's
                      rate fell more than PCT percent (default 30) —
                      the CI regression gate
-   --require PREFIX  with --baseline, also fail if a result row whose
-                     name starts with PREFIX has no baseline entry
-                     (guards the rpc_calls_n* rows against silent
-                     renames/drops)
+   --require PREFIXES with --baseline, also fail if a result row whose
+                     name starts with any of the comma-separated
+                     prefixes has no baseline entry (guards the
+                     rpc_calls_n* and engine_parallel_d* rows against
+                     silent renames/drops)
+   --domains N       cap the engine_parallel_d* rows at N domains
+                     (default 4: rows for d = 1, 2, 4)
    --summary PATH    with --baseline, append the comparison as a
                      markdown table to PATH ($GITHUB_STEP_SUMMARY)
    --quick           ~10x smaller workloads (for smoke checks)
@@ -159,6 +162,39 @@ let bench_mailbox_timeouts ~timeouts =
              done));
       Engine.run engine)
 
+(* Parallel engine: 8 LPs of dense local churn plus a cross-LP message
+   every 64 events, run at a given domain count.  The same workload at
+   d = 1, 2, 4 gives the scaling curve; the barrier cadence (one per
+   lookahead window, ~100 events per LP per window here) is the
+   realistic cost being measured, not an idealized embarrassingly
+   parallel loop. *)
+
+let bench_engine_parallel ~events ~domains =
+  let lps = 8 in
+  best
+    ~name:(Printf.sprintf "engine_parallel_d%d" domains)
+    ~ops:events
+    (fun () ->
+      let t = Parallel.create ~lps ~lookahead:1e-3 () in
+      let per_lp = events / lps in
+      for i = 0 to lps - 1 do
+        let engine = Parallel.engine t i in
+        let remaining = ref per_lp in
+        let rec tick () =
+          if !remaining > 0 then begin
+            decr remaining;
+            if !remaining mod 64 = 0 then
+              Parallel.post t ~src:i
+                ~dst:((i + 1) mod lps)
+                ~at:(Engine.now engine +. 1e-3)
+                (fun () -> ());
+            ignore (Engine.schedule engine ~delay:1e-5 tick)
+          end
+        in
+        ignore (Engine.schedule_abs engine ~at:0.0 tick)
+      done;
+      Parallel.run ~domains t)
+
 (* Wire: datagram-style encode (segment header + payload) per op. *)
 
 let bench_wire_encode ~encodes =
@@ -261,6 +297,14 @@ let () =
       | None -> failwith "--max-regress expects a number (percent)")
     | None -> 30.0
   in
+  let max_domains =
+    match flag_value "--domains" Sys.argv with
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> v
+      | _ -> failwith "--domains expects a positive integer")
+    | None -> 4
+  in
   let scale n = if quick then max 1 (n / 10) else n in
   Printf.printf "circus wall-clock throughput benchmarks%s\n%!"
     (if quick then " (quick)" else "");
@@ -272,6 +316,11 @@ let () =
       bench_mailbox ~messages:(scale 200_000);
       bench_mailbox_timeouts ~timeouts:(scale 100_000);
       bench_wire_encode ~encodes:(scale 1_000_000) ]
+    @ List.filter_map
+        (fun d ->
+          if d <= max_domains then Some (bench_engine_parallel ~events:(scale 400_000) ~domains:d)
+          else None)
+        [ 1; 2; 4 ]
     @ List.map (fun n -> bench_rpc ~iterations:(scale 300) ~n) [ 1; 2; 3; 4; 5 ]
   in
   Printf.printf "%-20s | %12s | %10s | %14s\n" "bench" "ops" "wall (s)" "rate (ops/s)";
@@ -308,9 +357,12 @@ let () =
       (fun r ->
         let is_required =
           match required with
-          | Some prefix ->
-            String.length r.name >= String.length prefix
-            && String.sub r.name 0 (String.length prefix) = prefix
+          | Some prefixes ->
+            List.exists
+              (fun prefix ->
+                String.length r.name >= String.length prefix
+                && String.sub r.name 0 (String.length prefix) = prefix)
+              (String.split_on_char ',' prefixes)
           | None -> false
         in
         match List.assoc_opt r.name base with

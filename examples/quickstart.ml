@@ -15,7 +15,13 @@
    Pass [--chaos SEED] to replace the scripted crash with a seeded
    random fault schedule (crash/restart, partitions, loss, duplication,
    delay and corruption bursts) from {!Circus_fault}.  Equal seeds
-   replay the identical chaos episode. *)
+   replay the identical chaos episode.
+
+   Pass [--domains N] to run the parallel-simulation demo instead: an
+   8-host gossip ring sharded over 4 logical processes, executed on N
+   OCaml domains.  The domain count changes only wall-clock speed —
+   stdout and the merged [--trace-jsonl] trace are byte-identical for
+   every N, which CI enforces with a cmp of N = 1 against N = 4. *)
 
 open Circus_sim
 open Circus_net
@@ -120,9 +126,69 @@ let chaos_run sys members seed =
          Printf.printf "[%6.3fs] chaos run done: %d/%d writes landed\n" (System.now sys) !ok
            puts))
 
+(* [--domains N]: the parallel cluster demo.  K = 4 logical processes
+   is part of the workload; [N] only maps them onto domains, so every
+   printed number and every trace byte below is independent of N. *)
+let cluster_demo ~domains ~trace_chrome ~trace_jsonl =
+  let module Export = Circus_trace.Export in
+  let lps = 4 and n_hosts = 8 in
+  let params = { Net.default_params with propagation = 2e-3 } in
+  let c = Cluster.create ~seed:2026 ~params ~lps () in
+  Cluster.enable_tracing c;
+  let hosts =
+    Array.init n_hosts (fun i -> Cluster.add_host c ~name:(Printf.sprintf "g%d" i) ())
+  in
+  let socks =
+    Array.map (fun h -> Net.udp_bind (Cluster.net_of_host c (Host.id h)) h ~port:9 ()) hosts
+  in
+  (* Every host gossips to its +1 and +3 neighbours every 50 ms; with
+     round-robin placement both datagrams cross shard boundaries. *)
+  Array.iteri
+    (fun i h ->
+      let lp = Cluster.lp_of_host c (Host.id h) in
+      let net = Cluster.net c lp in
+      let engine = Cluster.engine c lp in
+      let src = Net.socket_addr socks.(i) in
+      Cluster.with_lp c lp (fun () ->
+          let rec gossip round () =
+            List.iter
+              (fun step ->
+                Net.send net ~src
+                  ~dst:(Net.socket_addr socks.((i + step) mod n_hosts))
+                  (Bytes.of_string (Printf.sprintf "g%d.%d" i round)))
+              [ 1; 3 ];
+            if round < 39 then ignore (Engine.schedule engine ~delay:0.05 (gossip (round + 1)))
+          in
+          ignore (Engine.schedule_abs engine ~at:(0.01 *. float_of_int (i + 1)) (gossip 0))))
+    hosts;
+  Cluster.run ~until:2.5 ~domains c;
+  let stats = Cluster.stats c in
+  Printf.printf
+    "[%6.3fs] parallel gossip ring: lps=%d domains=%d events=%d sent=%d delivered=%d\n"
+    (Cluster.now c) lps domains (Cluster.executed c) stats.Net.sent stats.Net.delivered;
+  (match trace_chrome with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc
+      (Export.chrome_events ~dropped:(Cluster.merged_dropped c) (Cluster.merged_events c));
+    close_out oc;
+    Printf.printf "wrote merged Chrome trace to %s (open at https://ui.perfetto.dev)\n" path
+  | None -> ());
+  (match trace_jsonl with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (Export.jsonl_events (Cluster.merged_events c));
+    close_out oc;
+    Printf.printf "wrote merged JSONL trace to %s\n" path
+  | None -> ());
+  print_endline "done."
+
 let () =
   let trace_chrome = flag_value "--trace" in
   let trace_jsonl = flag_value "--trace-jsonl" in
+  match Option.map int_of_string (flag_value "--domains") with
+  | Some domains -> cluster_demo ~domains ~trace_chrome ~trace_jsonl
+  | None ->
   let chaos_seed = Option.map int_of_string (flag_value "--chaos") in
   let sys = System.create ~seed:2026 () in
   if trace_chrome <> None || trace_jsonl <> None then ignore (System.enable_tracing sys);

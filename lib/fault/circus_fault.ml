@@ -14,4 +14,5 @@ module Check = Check
 
 let random_plan = Plan.random
 let inject = Injector.inject
+let inject_cluster = Injector.inject_cluster
 let fault_trace_lines = Injector.fault_trace_lines

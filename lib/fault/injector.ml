@@ -70,6 +70,34 @@ let inject net plan =
                  ~name:"corrupt_burst" ~arg_name:"rate")))
     plan
 
+(* A plan against a sharded cluster: each shard gets the plan filtered
+   to what concerns it — crash/restart only on the shard owning the
+   victim, network-wide steps (partitions, bursts) on every shard —
+   scheduled on that shard's own engine.  Each shard therefore applies
+   each global step at the same simulated time from its own event
+   loop, which keeps the per-shard partition/fault state consistent
+   without any cross-domain mutation: the sender's view is the only
+   one that gates a send.  Filtering preserves the plan's time order
+   and its crash/restart pairing (a host's steps all land on its own
+   shard), so per-shard validation still passes. *)
+let inject_cluster cluster plan =
+  (match Plan.validate plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Injector.inject_cluster: " ^ msg));
+  for i = 0 to Cluster.lp_count cluster - 1 do
+    let sub =
+      List.filter
+        (fun { Plan.at = _; action } ->
+          match action with
+          | Plan.Crash h | Plan.Restart h -> Cluster.lp_of_host cluster h = i
+          | Plan.Partition _ | Plan.Heal | Plan.Loss_burst _ | Plan.Dup_burst _
+          | Plan.Delay_burst _ | Plan.Corrupt_burst _ ->
+            true)
+        plan
+    in
+    if sub <> [] then inject (Cluster.net cluster i) sub
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Fault-trace rendering *)
 

@@ -18,6 +18,14 @@ val inject : Circus_net.Net.t -> Plan.t -> unit
 (** Schedule the whole plan.  Raises [Invalid_argument] if
     {!Plan.validate} rejects it. *)
 
+val inject_cluster : Circus_net.Cluster.t -> Plan.t -> unit
+(** {!inject} for a sharded cluster: crash/restart steps are scheduled
+    only on the shard owning the victim host, network-wide steps
+    (partitions, bursts) on every shard — each on that shard's own
+    engine, so the parallel run applies them without cross-domain
+    mutation.  Raises [Invalid_argument] on an invalid plan,
+    [Not_found] if a victim id is unknown to the cluster. *)
+
 val fault_trace_lines : unit -> string list
 (** The [cat:"fault"] events of the active trace sink, rendered one
     compact JSON object per line ([t], [name], [host], [args]) with the

@@ -95,6 +95,14 @@ type t = {
      number of engine events carrying the deliveries shrinks. *)
   mutable batching : bool;
   mutable pending_batch : (float * datagram) list;
+  (* Cross-shard escape hatch for the parallel cluster: consulted once
+     per surviving copy with its precomputed arrival instant.  [true]
+     means the copy was claimed (its destination lives on another
+     logical process and will be injected there at a barrier); [false]
+     falls through to local delivery.  All fault draws have already
+     happened on this net's PRNG by then, so routing never perturbs
+     the random stream. *)
+  mutable router : (datagram -> arrival:float -> bool) option;
 }
 
 (* Forward reference so [create] can register the tick-boundary flush
@@ -117,7 +125,8 @@ let create engine ?(params = default_params) () =
       stats =
         { sent = 0; delivered = 0; dropped = 0; duplicated = 0; corrupted = 0; bytes_sent = 0 };
       batching = false;
-      pending_batch = [] }
+      pending_batch = [];
+      router = None }
   in
   Engine.add_flush_hook engine (fun () ->
       if t.pending_batch != [] then !flush_ref t);
@@ -126,22 +135,45 @@ let create engine ?(params = default_params) () =
 let engine t = t.engine
 let params t = t.params
 
-let add_host t ?name ?clock_offset ?attributes () =
-  let id = t.next_host_id in
+(* Host ids are dense by default, but a cluster sharded over several
+   per-LP nets places globally-numbered hosts into each shard, leaving
+   gaps.  Gap slots hold whatever host served as the last grow filler;
+   a slot is live iff the host it holds carries the slot's own id, so
+   lookup stays two loads and a compare. *)
+let add_host t ?id ?name ?clock_offset ?attributes () =
+  let id =
+    match id with
+    | None -> t.next_host_id
+    | Some i ->
+      if i < t.next_host_id then
+        invalid_arg (Printf.sprintf "Net.add_host: id %d already allocated" i);
+      i
+  in
   t.next_host_id <- id + 1;
   let host = Host.create t.engine ~id ?name ?clock_offset ?attributes () in
-  if id = Array.length t.host_table then begin
-    let grown = Array.make (max 8 (2 * id)) host in
-    Array.blit t.host_table 0 grown 0 id;
+  if id >= Array.length t.host_table then begin
+    let old = Array.length t.host_table in
+    let grown = Array.make (max 8 (max (2 * old) (id + 1))) host in
+    Array.blit t.host_table 0 grown 0 old;
     t.host_table <- grown
   end;
   t.host_table.(id) <- host;
   host
 
 let host t id =
-  if id >= 0 && id < t.next_host_id then t.host_table.(id) else raise Not_found
+  if id >= 0 && id < t.next_host_id then begin
+    let h = t.host_table.(id) in
+    if Host.id h = id then h else raise Not_found
+  end
+  else raise Not_found
 
-let hosts t = Array.to_list (Array.sub t.host_table 0 t.next_host_id)
+let hosts t =
+  let acc = ref [] in
+  for id = t.next_host_id - 1 downto 0 do
+    let h = t.host_table.(id) in
+    if Host.id h = id then acc := h :: !acc
+  done;
+  !acc
 
 let close sock =
   if not sock.closed then begin
@@ -301,19 +333,25 @@ let deliver_now t dgram =
     t.stats.dropped <- t.stats.dropped + 1;
     trace_dgram t "drop" ~dgram ~reason:(Some "unbound")
 
-(* Schedule delivery of one copy.  With batching on, the copy is
-   buffered instead; the tick-boundary flush coalesces same-instant
-   same-destination copies into one delivery event. *)
+(* Schedule delivery of one copy.  A router (parallel cluster) may
+   claim the copy for another logical process first.  With batching
+   on, the copy is buffered instead; the tick-boundary flush coalesces
+   same-arrival-instant copies into one delivery event. *)
 let deliver_copy t dgram delay =
-  if t.batching then
-    t.pending_batch <- (Engine.now t.engine +. delay, dgram) :: t.pending_batch
-  else ignore (Engine.schedule t.engine ~delay (fun () -> deliver_now t dgram))
+  let arrival = Engine.now t.engine +. delay in
+  let routed = match t.router with Some f -> f dgram ~arrival | None -> false in
+  if not routed then begin
+    if t.batching then t.pending_batch <- (arrival, dgram) :: t.pending_batch
+    else ignore (Engine.schedule_abs t.engine ~at:arrival (fun () -> deliver_now t dgram))
+  end
 
-(* Flush the batch buffer: one delivery event per (destination,
-   arrival instant) group, delivering the group's copies in send
-   order.  Runs at the instant the copies were injected (the engine
-   calls the hook before any clock movement), so each group's delay is
-   exactly the per-copy delay the unbatched path would have used. *)
+(* Flush the batch buffer: one delivery event per arrival instant,
+   delivering that instant's copies in send order — regardless of
+   destination, so a multicast fan-out whose copies share an arrival
+   (zero-jitter configurations) collapses to a single event.  Runs at
+   the instant the copies were injected (the engine calls the hook
+   before any clock movement), so each group's delay is exactly the
+   per-copy delay the unbatched path would have used. *)
 let flush t =
   match t.pending_batch with
   | [] -> ()
@@ -330,7 +368,7 @@ let flush t =
         for j = i + 1 to n - 1 do
           if not consumed.(j) then begin
             let aj, dj = arr.(j) in
-            if Float.equal aj arrival && Addr.equal dj.dst first.dst then begin
+            if Float.equal aj arrival then begin
               consumed.(j) <- true;
               group := dj :: !group
             end
@@ -343,7 +381,7 @@ let flush t =
           if Trace.on () then begin
             Trace.incr "net.batch";
             Trace.emit ~cat:"net" ~host:first.dst.Addr.host
-              ~args:[ ("copies", Tev.Int (List.length ds)); ("dst", Tev.Int first.dst.Addr.host) ]
+              ~args:[ ("copies", Tev.Int (List.length ds)) ]
               "batch"
           end;
           ignore
@@ -359,6 +397,8 @@ let set_batching t on =
   t.batching <- on
 
 let batching t = t.batching
+let set_router t f = t.router <- f
+let deliver_inbound t dgram = deliver_now t dgram
 
 let transit_delay t len =
   t.params.propagation

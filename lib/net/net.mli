@@ -37,16 +37,22 @@ val params : t -> params
 
 val add_host :
   t ->
+  ?id:Addr.host_id ->
   ?name:string ->
   ?clock_offset:float ->
   ?attributes:(string * Host.attribute_value) list ->
   unit ->
   Host.t
-(** Create and register a new host with the next free id. *)
+(** Create and register a new host.  Without [id], the next free id is
+    used (dense numbering).  An explicit [id] must be at least the
+    next free id and claims it, leaving a gap below — the parallel
+    cluster uses this to give hosts globally unique ids across per-LP
+    shards.  Raises [Invalid_argument] if [id] is already
+    allocated. *)
 
 val host : t -> Addr.host_id -> Host.t
-(** O(1) (host ids are dense array indices).  Raises [Not_found] for
-    unknown ids. *)
+(** O(1) (host ids are array indices).  Raises [Not_found] for unknown
+    ids, including gap ids skipped by an explicit [add_host ~id]. *)
 
 val hosts : t -> Host.t list
 
@@ -79,18 +85,38 @@ val send_multicast : t -> src:Addr.t -> dsts:Addr.t list -> bytes -> unit
 val set_batching : t -> bool -> unit
 (** Enable or disable datagram batching (default off).  When on,
     copies injected during one simulated instant are buffered and
-    flushed at the tick boundary, coalescing copies that share a
-    destination and an arrival instant into a single delivery event.
-    Arrival times, loss/duplication/jitter draws, and delivery order
-    within a batch are computed at send time exactly as on the
-    unbatched path: simulated time is unchanged, only the engine event
-    count carrying the deliveries shrinks.  (Deliveries whose arrival
-    instants tie with unrelated events may occupy a different
-    scheduling sequence position than unbatched; with nonzero jitter
-    such ties have probability zero.)  Disabling flushes any buffered
-    copies first. *)
+    flushed at the tick boundary, coalescing copies that share an
+    arrival instant — any destinations, so a {!send_multicast} fan-out
+    under zero jitter collapses to one event — into a single delivery
+    event carrying the copies in send order.  Arrival times,
+    loss/duplication/jitter draws, and delivery order within a batch
+    are computed at send time exactly as on the unbatched path:
+    simulated time is unchanged, only the engine event count carrying
+    the deliveries shrinks.  (Deliveries whose arrival instants tie
+    with unrelated events may occupy a different scheduling sequence
+    position than unbatched; with nonzero jitter such ties have
+    probability zero.)  Disabling flushes any buffered copies
+    first. *)
 
 val batching : t -> bool
+
+(** {1 Cross-shard routing}
+
+    Hooks for {!Cluster}, which shards one simulated internetwork over
+    several per-LP nets.  Not for application use. *)
+
+val set_router : t -> (datagram -> arrival:float -> bool) option -> unit
+(** Install (or clear) the cross-shard router.  It is consulted once
+    per surviving copy — after reachability, loss, duplication, and
+    corruption draws, with the arrival instant already computed on
+    this net's PRNG — and claims the copy by returning [true], taking
+    responsibility for delivering it on the destination shard at
+    [arrival].  Returning [false] falls through to local delivery. *)
+
+val deliver_inbound : t -> datagram -> unit
+(** Hand a routed copy to its destination socket, applying the usual
+    arrival-time checks (liveness, binding).  Must be called on this
+    net's logical process at the copy's arrival instant. *)
 
 (** {1 Failures} *)
 

@@ -281,7 +281,7 @@ let sleep_drain t ~target ~cancelled =
     Option.get !verdict
   end
 
-let run ?until ?(max_events = 50_000_000) t =
+let run_counted ?until ?(max_events = 50_000_000) t =
   let executed = ref 0 in
   let continue_run = ref true in
   (match until with
@@ -317,7 +317,46 @@ let run ?until ?(max_events = 50_000_000) t =
     done;
     t.horizon <- infinity);
   if !executed >= max_events then
-    invalid_arg "Engine.run: max_events exceeded (runaway simulation?)"
+    invalid_arg "Engine.run: max_events exceeded (runaway simulation?)";
+  !executed
+
+let run ?until ?max_events t = ignore (run_counted ?until ?max_events t)
+
+let next_time t =
+  run_flush_hooks t;
+  drop_cancelled t;
+  if Ready.length t.ready > 0 then (Ready.peek t.ready).time
+  else if Event_heap.is_empty t.heap then infinity
+  else (Event_heap.peek_exn t.heap).time
+
+(* The parallel engine's per-window drain.  Identical to [run ~until]
+   except that the bound is *exclusive*: an event at exactly [limit]
+   belongs to the next window (its instant is the synchronization
+   barrier, where cross-LP arrivals due at [limit] are still being
+   injected and must obtain their sequence numbers before anything at
+   that instant executes in engine order).  The clock is left exactly
+   at [limit] so every logical process agrees on the window boundary
+   regardless of where its last event fell.  Returns the number of
+   events executed, which the coordinator sums into the scaling
+   numbers. *)
+let run_window ?(max_events = 50_000_000) t ~limit =
+  let executed = ref 0 in
+  let continue_run = ref true in
+  t.horizon <- limit;
+  while !continue_run && !executed < max_events do
+    if next_time t >= limit then begin
+      if limit > t.now then t.now <- limit;
+      continue_run := false
+    end
+    else begin
+      ignore (step t);
+      incr executed
+    end
+  done;
+  t.horizon <- infinity;
+  if !executed >= max_events then
+    invalid_arg "Engine.run_window: max_events exceeded (runaway simulation?)";
+  !executed
 
 let pending t =
   run_flush_hooks t;

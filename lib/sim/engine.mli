@@ -95,8 +95,28 @@ val run : ?until:float -> ?max_events:int -> t -> unit
     time of the last event executed (or at [until] if given and
     reached). *)
 
+val run_counted : ?until:float -> ?max_events:int -> t -> int
+(** {!run}, returning the number of events executed — the parallel
+    engine's per-LP accounting hook. *)
+
 val step : t -> bool
 (** Execute the single next event.  [false] if the queue was empty. *)
+
+val next_time : t -> float
+(** Time of the next live queued event (after running flush hooks and
+    discarding cancelled entries at the queue heads), or [infinity]
+    when the queue is empty.  The parallel coordinator uses the
+    minimum across logical processes to fast-forward empty windows. *)
+
+val run_window : ?max_events:int -> t -> limit:float -> int
+(** [run_window t ~limit] executes every queued event with time
+    strictly below [limit], then sets the clock to exactly [limit] and
+    returns the number of events executed.  The *exclusive* bound is
+    the conservative-synchronization contract: an event at exactly
+    [limit] waits for the barrier at that instant, where cross-LP
+    arrivals due at [limit] are injected (gaining their sequence
+    numbers) before anything at that time runs.  Used by
+    {!Parallel.run}; sequential callers want {!run}. *)
 
 val pending : t -> int
 (** Number of events still queued. *)

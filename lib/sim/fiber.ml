@@ -36,10 +36,16 @@ type _ Effect.t +=
    fiber B is resumed by an event executing on fiber A's stack.  This
    makes [self] a load instead of an [Effect.perform] round-trip — the
    single hottest operation in the simulation, performed once per CPU
-   charge.  The [Self] effect remains as a correctness fallback. *)
-let current : t option ref = ref None
+   charge.  The [Self] effect remains as a correctness fallback.
+
+   Domain-local, not global: the parallel engine runs one logical
+   process per domain, and each domain has its own currently-executing
+   fiber.  A DLS load is an array index off the domain record — the
+   fast path stays a load, not an effect. *)
+let current : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
 let[@inline] enter fiber f =
+  let current = Domain.DLS.get current in
   let prev = !current in
   current := Some fiber;
   f ();
@@ -171,7 +177,7 @@ let spawn engine ?(label = "fiber") f =
   fiber
 
 let self () =
-  match !current with Some f -> f | None -> Effect.perform Self
+  match !(Domain.DLS.get current) with Some f -> f | None -> Effect.perform Self
 let engine () = (self ()).engine_
 let label t = t.label_
 let id t = t.id

@@ -1,0 +1,111 @@
+(* A logical process: the unit of parallelism in the parallel engine.
+
+   Each LP owns a full sequential simulation engine — its own
+   monomorphic event heap, ready ring, clock, and PRNG stream — plus an
+   optional per-LP trace sink.  LPs never share mutable simulation
+   state; the only cross-LP traffic is timestamped messages pushed into
+   the SPSC channels below, which are drained at conservative barriers
+   by the coordinator (see Parallel).
+
+   The PRNG is derived with [Prng.stream root ~index:id], a pure
+   function of the root seed and the LP id, so an LP's random draws are
+   identical no matter how many other LPs exist or how they are mapped
+   onto domains. *)
+
+module Trace = Circus_trace.Trace
+
+(* Single-producer single-consumer channel for cross-LP messages.
+
+   The synchronization story is deliberately minimal.  During a window
+   only the producing domain touches the channel ([push]); consumers
+   drain only at a barrier, after the producer has passed through the
+   team mutex, so every window-time write happens-before every drain
+   read.  The Atomic head/tail indices make the ring well-defined even
+   for the coordinator's read-only [is_empty]/[min_pending] probes at
+   the barrier.
+
+   Boundedness: the ring has fixed capacity; once it fills, *all*
+   subsequent pushes in the window spill to a producer-side overflow
+   list (not just the ones that no longer fit — partial spilling would
+   break FIFO order, and FIFO is what makes the drain deterministic).
+   Blocking the producer instead would deadlock the barrier: the
+   consumer only drains once every producer has arrived at it. *)
+module Channel = struct
+  type 'a t = {
+    buf : (float * 'a) option array;  (* capacity is a power of two *)
+    mask : int;
+    head : int Atomic.t;  (* consumer index *)
+    tail : int Atomic.t;  (* producer index *)
+    mutable overflow : (float * 'a) list;  (* producer-side spill, newest first *)
+    mutable spilled : bool;
+    (* Earliest arrival among buffered messages; [infinity] when empty.
+       Read by the coordinator at barriers to fast-forward windows. *)
+    mutable min_arrival : float;
+  }
+
+  let create ?(capacity = 1024) () =
+    if capacity < 1 then invalid_arg "Lp.Channel.create: capacity < 1";
+    let cap = ref 1 in
+    while !cap < capacity do
+      cap := !cap * 2
+    done;
+    { buf = Array.make !cap None;
+      mask = !cap - 1;
+      head = Atomic.make 0;
+      tail = Atomic.make 0;
+      overflow = [];
+      spilled = false;
+      min_arrival = infinity }
+
+  let push t ~arrival x =
+    if arrival < t.min_arrival then t.min_arrival <- arrival;
+    if t.spilled then t.overflow <- (arrival, x) :: t.overflow
+    else begin
+      let tail = Atomic.get t.tail in
+      if tail - Atomic.get t.head > t.mask then begin
+        t.spilled <- true;
+        t.overflow <- [ (arrival, x) ]
+      end
+      else begin
+        t.buf.(tail land t.mask) <- Some (arrival, x);
+        Atomic.set t.tail (tail + 1)
+      end
+    end
+
+  let is_empty t = Atomic.get t.head = Atomic.get t.tail && not t.spilled
+  let min_pending t = t.min_arrival
+
+  (* Barrier-only: requires the producer to be quiescent. *)
+  let drain t ~f =
+    let head = ref (Atomic.get t.head) in
+    let tail = Atomic.get t.tail in
+    while !head < tail do
+      (match t.buf.(!head land t.mask) with
+      | Some (arrival, x) ->
+        t.buf.(!head land t.mask) <- None;
+        f ~arrival x
+      | None -> assert false);
+      incr head
+    done;
+    Atomic.set t.head tail;
+    if t.spilled then begin
+      List.iter (fun (arrival, x) -> f ~arrival x) (List.rev t.overflow);
+      t.overflow <- [];
+      t.spilled <- false
+    end;
+    t.min_arrival <- infinity
+end
+
+type t = {
+  id : int;
+  engine : Engine.t;
+  prng : Prng.t;
+  mutable sink : Trace.sink option;
+  mutable executed : int;
+}
+
+(* The engine seed is the stream's first draw, so the whole LP — engine
+   PRNG included — is a pure function of (root seed, lp id). *)
+let make ~id ~prng =
+  let seed = Int64.to_int (Prng.int64 prng) land max_int in
+  { id; engine = Engine.create ~seed (); prng; sink = None; executed = 0 }

@@ -1,0 +1,46 @@
+(** Logical processes: the unit of parallelism in {!Parallel}.
+
+    An LP owns a complete sequential {!Engine.t} (event heap, ready
+    ring, clock), a {!Prng.t} stream derived as a pure function of the
+    root seed and the LP id, and an optional per-LP trace sink.  LPs
+    share no mutable simulation state; cross-LP traffic flows through
+    the bounded SPSC {!Channel}s, drained only at conservative
+    barriers. *)
+
+(** Single-producer single-consumer channel carrying timestamped
+    cross-LP messages.  [push] may only be called by the owning
+    producer during a window; [drain] only by the consumer at a
+    barrier, once the producer is quiescent (the barrier's mutex
+    provides the happens-before edge).  When the ring fills, pushes
+    spill to a producer-side overflow list — all of them, preserving
+    FIFO order — rather than blocking, which would deadlock the
+    barrier. *)
+module Channel : sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  (** [capacity] (default 1024) is rounded up to a power of two. *)
+
+  val push : 'a t -> arrival:float -> 'a -> unit
+  val is_empty : 'a t -> bool
+
+  val min_pending : 'a t -> float
+  (** Earliest arrival among buffered messages, [infinity] when empty.
+      Only meaningful at a barrier. *)
+
+  val drain : 'a t -> f:(arrival:float -> 'a -> unit) -> unit
+  (** Apply [f] to every buffered message in push (FIFO) order and
+      empty the channel.  Barrier-only. *)
+end
+
+type t = {
+  id : int;
+  engine : Engine.t;
+  prng : Prng.t;  (** the LP's {!Prng.stream}; stable under re-partitioning *)
+  mutable sink : Circus_trace.Trace.sink option;
+  mutable executed : int;  (** events executed on this LP, cumulative *)
+}
+
+val make : id:int -> prng:Prng.t -> t
+(** [make ~id ~prng] is a fresh LP whose engine seed is [prng]'s first
+    draw — the entire LP is a pure function of (root seed, id). *)

@@ -1,0 +1,308 @@
+(* Conservative parallel discrete-event simulation across OCaml 5
+   domains.
+
+   The world is sharded into K logical processes (Lp.t), each a
+   complete sequential engine.  Execution proceeds in windows
+   [W, W + L) where L is the *lookahead*: a lower bound on cross-LP
+   message latency guaranteed by the caller (for the network layer,
+   the minimum propagation delay).  Within a window every LP runs
+   independently — any message it sends cannot arrive before the next
+   barrier at W + L, so nothing an LP does in the window can affect
+   another LP's events inside it.  At the barrier each LP drains its
+   inbound channels (ascending source order, FIFO within a channel)
+   and schedules the arrivals into its own engine; the next window
+   then starts at the minimum next-event time across LPs and channels,
+   so idle stretches are skipped in one hop.
+
+   Determinism.  K is a property of the workload, never of the machine:
+   [domains d] only chooses how the K LPs are mapped onto d domains
+   (LP i runs on domain [i mod d], always the same one).  The window
+   schedule, each LP's event order, and the barrier drain order are
+   all functions of the LPs' (deterministic) local state — nothing
+   observes d.  Equal seeds therefore produce byte-identical traces at
+   any domain count, which CI enforces with a cmp.  Cross-LP ordering
+   is the pure function described in DESIGN.md: events sort by
+   (time, lp-id, per-LP seq), and injected arrivals obtain their
+   receiver-side seq at the barrier, before anything at their instant
+   runs (Engine.run_window's bound is exclusive for exactly this
+   reason).
+
+   Why conservative rather than optimistic (Time Warp-style rollback):
+   the engine executes arbitrary OCaml closures with side effects
+   (traces, metrics, user state), which cannot be checkpointed or
+   rolled back; the paper-model network has a hard propagation floor
+   that makes lookahead cheap to derive; and determinism — the repo's
+   core testing oracle — is trivial under a fixed barrier schedule but
+   subtle under speculative execution.
+
+   K = 1 degrades to a direct Engine.run on the caller's domain: no
+   windows, no barriers, no channels — byte-identical to the
+   sequential engine. *)
+
+module Trace = Circus_trace.Trace
+
+(* The sim library's own [Condition] is the fiber-level one; the team
+   barrier needs the stdlib domain-level primitive. *)
+module Cond = Stdlib.Condition
+module Event = Circus_trace.Event
+
+type t = {
+  lps : Lp.t array;
+  lookahead : float;
+  (* chans.(dst).(src): SPSC, producer = LP src's domain. *)
+  chans : (unit -> unit) Lp.Channel.t array array;
+  (* Per-LP next-event time, published by the owning domain at the end
+     of each round; read by the coordinator at barriers. *)
+  next_times : float array;
+  (* The current window's barrier instant.  A cross-LP message must
+     arrive at or after it — violating this would mean the receiver
+     already ran past the arrival time.  Written by the coordinator
+     before releasing a round, constant during it. *)
+  mutable cur_limit : float;
+  mutable tracing : bool;
+}
+
+let create ?(seed = 42) ?(channel_capacity = 1024) ~lps ~lookahead () =
+  if lps < 1 then invalid_arg "Parallel.create: lps < 1";
+  if not (lookahead > 0.0) then invalid_arg "Parallel.create: lookahead must be positive";
+  let root = Prng.create seed in
+  { lps = Array.init lps (fun i -> Lp.make ~id:i ~prng:(Prng.stream root ~index:i));
+    lookahead;
+    chans =
+      Array.init lps (fun _ ->
+          Array.init lps (fun _ -> Lp.Channel.create ~capacity:channel_capacity ()));
+    next_times = Array.make lps 0.0;
+    cur_limit = neg_infinity;
+    tracing = false }
+
+let lp_count t = Array.length t.lps
+let lp t i = t.lps.(i)
+let engine t i = t.lps.(i).Lp.engine
+let prng t i = t.lps.(i).Lp.prng
+let lookahead t = t.lookahead
+let executed t = Array.fold_left (fun acc (l : Lp.t) -> acc + l.executed) 0 t.lps
+
+let now t =
+  Array.fold_left (fun acc (l : Lp.t) -> Float.max acc (Engine.now l.engine)) 0.0 t.lps
+
+let enable_tracing ?capacity t =
+  t.tracing <- true;
+  Array.iter
+    (fun (l : Lp.t) ->
+      let engine = l.engine in
+      l.sink <- Some (Trace.make_sink ?capacity ~clock:(fun () -> Engine.now engine) ()))
+    t.lps
+
+let with_lp t i f =
+  let saved = Trace.active () in
+  Trace.use t.lps.(i).Lp.sink;
+  Fun.protect ~finally:(fun () -> Trace.use saved) f
+
+let post t ~src ~dst ~at thunk =
+  if src = dst then invalid_arg "Parallel.post: src = dst (schedule locally instead)";
+  if at < t.cur_limit then
+    invalid_arg
+      (Printf.sprintf
+         "Parallel.post: lookahead violation (lp %d -> lp %d arriving at %g, barrier at %g)" src
+         dst at t.cur_limit);
+  Lp.Channel.push t.chans.(dst).(src) ~arrival:at thunk
+
+(* ------------------------------------------------------------------ *)
+(* Rounds *)
+
+(* Inject everything buffered for [l], ascending source order then FIFO
+   — together with the per-engine seq counter this fixes the cross-LP
+   interleaving independently of domain count.  Barrier-only. *)
+let drain_into t (l : Lp.t) =
+  let inbound = t.chans.(l.id) in
+  for src = 0 to Array.length inbound - 1 do
+    Lp.Channel.drain inbound.(src) ~f:(fun ~arrival thunk ->
+        ignore (Engine.schedule_abs l.engine ~at:arrival thunk))
+  done
+
+(* One LP's share of a round, on its owning domain.  [final] is the
+   inclusive last pass of a [run ~until]: events at exactly [limit]
+   execute (Engine.run's semantics); in a regular window they wait for
+   the barrier at [limit]. *)
+let run_round t ~owned ~limit ~final =
+  Array.iter
+    (fun (l : Lp.t) ->
+      Trace.use l.sink;
+      drain_into t l;
+      let n =
+        if final then Engine.run_counted ~until:limit l.engine
+        else Engine.run_window l.engine ~limit
+      in
+      l.executed <- l.executed + n;
+      t.next_times.(l.id) <- Engine.next_time l.engine)
+    owned
+
+let window_start t =
+  let start = ref infinity in
+  Array.iter (fun nt -> if nt < !start then start := nt) t.next_times;
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun c ->
+          let m = Lp.Channel.min_pending c in
+          if m < !start then start := m)
+        row)
+    t.chans;
+  !start
+
+(* ------------------------------------------------------------------ *)
+(* The domain team.  Workers park on [cv_start] between rounds; the
+   coordinator (the calling domain, which owns its own share of LPs)
+   bumps [round] to release them and waits on [cv_done] until every
+   worker has finished the round.  Blocking waits, never spins: on a
+   machine with fewer cores than domains a spin barrier would starve
+   the very workers it waits for. *)
+
+type team = {
+  m : Mutex.t;
+  cv_start : Cond.t;
+  cv_done : Cond.t;
+  mutable round : int;  (* generation counter; -1 = shutdown *)
+  mutable limit : float;
+  mutable final : bool;
+  mutable done_count : int;
+  mutable error : exn option;  (* first failure, re-raised by the coordinator *)
+}
+
+let record_error team e =
+  Mutex.lock team.m;
+  (match team.error with None -> team.error <- Some e | Some _ -> ());
+  Mutex.unlock team.m
+
+let worker t team owned () =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock team.m;
+    while team.round = !last do
+      Cond.wait team.cv_start team.m
+    done;
+    let r = team.round and limit = team.limit and final = team.final in
+    Mutex.unlock team.m;
+    if r < 0 then running := false
+    else begin
+      last := r;
+      (try run_round t ~owned ~limit ~final with e -> record_error team e);
+      Mutex.lock team.m;
+      team.done_count <- team.done_count + 1;
+      Cond.signal team.cv_done;
+      Mutex.unlock team.m
+    end
+  done;
+  Trace.use None
+
+let coordinate t team ~own ~workers ~limit ~final =
+  t.cur_limit <- limit;
+  Mutex.lock team.m;
+  team.round <- team.round + 1;
+  team.limit <- limit;
+  team.final <- final;
+  team.done_count <- 0;
+  Cond.broadcast team.cv_start;
+  Mutex.unlock team.m;
+  (try run_round t ~owned:own ~limit ~final with e -> record_error team e);
+  Mutex.lock team.m;
+  while team.done_count < workers do
+    Cond.wait team.cv_done team.m
+  done;
+  Mutex.unlock team.m
+
+let shutdown team handles =
+  Mutex.lock team.m;
+  team.round <- -1;
+  Cond.broadcast team.cv_start;
+  Mutex.unlock team.m;
+  List.iter Domain.join handles
+
+(* ------------------------------------------------------------------ *)
+
+let run ?until ?(max_events = 50_000_000) ?(domains = 1) t =
+  let k = Array.length t.lps in
+  let saved = Trace.active () in
+  Fun.protect ~finally:(fun () -> Trace.use saved) @@ fun () ->
+  if k = 1 then begin
+    (* Sequential fast path: no windows, no barriers, no channels
+       (post rejects src = dst, so none can hold messages) — the exact
+       code path of the single-domain engine. *)
+    let l = t.lps.(0) in
+    if t.tracing then Trace.use l.Lp.sink;
+    l.Lp.executed <- l.Lp.executed + Engine.run_counted ?until ~max_events l.Lp.engine
+  end
+  else begin
+    let d = max 1 (min domains k) in
+    let base = executed t in
+    (* Initial scan on the calling domain: nothing else is running yet,
+       and each LP's sink is installed around its own flush hooks. *)
+    for i = 0 to k - 1 do
+      let l = t.lps.(i) in
+      Trace.use l.Lp.sink;
+      t.next_times.(i) <- Engine.next_time l.Lp.engine
+    done;
+    let owned w =
+      Array.of_list (List.filter (fun (l : Lp.t) -> l.id mod d = w) (Array.to_list t.lps))
+    in
+    let team =
+      { m = Mutex.create ();
+        cv_start = Cond.create ();
+        cv_done = Cond.create ();
+        round = 0;
+        limit = 0.0;
+        final = false;
+        done_count = 0;
+        error = None }
+    in
+    let handles = List.init (d - 1) (fun j -> Domain.spawn (worker t team (owned (j + 1)))) in
+    let own = owned 0 in
+    let workers = d - 1 in
+    Fun.protect ~finally:(fun () -> shutdown team handles) @@ fun () ->
+    let finished = ref false in
+    while not !finished do
+      let start = window_start t in
+      (match until with
+      | None ->
+        if start = infinity then finished := true
+        else coordinate t team ~own ~workers ~limit:(start +. t.lookahead) ~final:false
+      | Some u ->
+        if start = infinity || start +. t.lookahead > u then begin
+          (* Close enough to the horizon that nothing sent from here on
+             can arrive at or before it (arrivals land >= start + L):
+             one inclusive pass finishes the run. *)
+          coordinate t team ~own ~workers ~limit:u ~final:true;
+          finished := true
+        end
+        else coordinate t team ~own ~workers ~limit:(start +. t.lookahead) ~final:false);
+      (match team.error with Some e -> raise e | None -> ());
+      if executed t - base > max_events then
+        invalid_arg "Parallel.run: max_events exceeded (runaway simulation?)"
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic trace merge: concatenate per-LP streams in LP order,
+   stable-sort by time (so ties resolve by lp-id, then by per-LP seq —
+   the (time, seq, lp-id) total order), and renumber seq. *)
+
+let merged_events t =
+  let all =
+    List.concat_map
+      (fun (l : Lp.t) -> match l.sink with Some s -> Trace.sink_events s | None -> [])
+      (Array.to_list t.lps)
+  in
+  let sorted =
+    List.stable_sort (fun (a : Event.t) (b : Event.t) -> Float.compare a.time b.time) all
+  in
+  List.mapi
+    (fun i (e : Event.t) ->
+      Event.make ~seq:i ~time:e.time ~cat:e.cat ~name:e.name ~phase:e.phase ~host:e.host
+        ~fiber:e.fiber ~args:e.args)
+    sorted
+
+let merged_dropped t =
+  Array.fold_left
+    (fun acc (l : Lp.t) -> match l.sink with Some s -> acc + Trace.sink_dropped s | None -> acc)
+    0 t.lps

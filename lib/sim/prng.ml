@@ -17,6 +17,24 @@ let next g =
 let int64 = next
 let split g = { state = next g }
 
+(* Indexed stream derivation for logical processes: unlike [split],
+   which advances the parent (so the k-th split depends on how many
+   splits preceded it), [stream] is a pure function of the parent's
+   current state and the index.  Partitioning a simulation into a
+   different number of LPs therefore never perturbs the stream LP [i]
+   draws from — the per-LP determinism contract of the parallel
+   engine.  The index is spread by a second odd constant (the
+   SplitMix64 gamma of the "alternative" stream family) so that
+   neighbouring indices land in unrelated regions of the state space,
+   and the result is finalized through [mix64] like every other
+   output. *)
+let stream_gamma = 0xD1B54A32D192ED03L
+
+let stream g ~index =
+  if index < 0 then invalid_arg "Prng.stream: negative index";
+  { state =
+      mix64 (Int64.add g.state (Int64.mul (Int64.of_int (index + 1)) stream_gamma)) }
+
 let float g =
   (* 53 high bits as a mantissa in [0,1). *)
   let bits = Int64.shift_right_logical (next g) 11 in

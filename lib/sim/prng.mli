@@ -15,6 +15,15 @@ val split : t -> t
 (** [split g] derives an independent generator from [g], advancing
     [g] once. *)
 
+val stream : t -> index:int -> t
+(** [stream g ~index] is the [index]-th member of a stable family of
+    generators derived from [g]'s current state {e without} advancing
+    [g].  Unlike {!split}, the result depends only on [g]'s state and
+    [index], so logical process [i] of a partitioned simulation draws
+    the same sequence no matter how many other processes exist —
+    re-partitioning cannot perturb per-LP randomness.  Raises
+    [Invalid_argument] on a negative index. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

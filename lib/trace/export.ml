@@ -66,10 +66,12 @@ let add_jsonl_event b (e : Event.t) =
   end;
   Buffer.add_string b "}\n"
 
-let jsonl sink =
+let jsonl_events events =
   let b = Buffer.create 4096 in
-  List.iter (add_jsonl_event b) (Trace.sink_events sink);
+  List.iter (add_jsonl_event b) events;
   Buffer.contents b
+
+let jsonl sink = jsonl_events (Trace.sink_events sink)
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace_event *)
@@ -97,8 +99,7 @@ let add_chrome_event b (e : Event.t) =
   add_args b (("seq", Event.Int e.seq) :: e.args);
   Buffer.add_char b '}'
 
-let chrome sink =
-  let events = Trace.sink_events sink in
+let chrome_events ?(dropped = 0) events =
   let b = Buffer.create 8192 in
   Buffer.add_string b "{\"traceEvents\":[";
   (* Process-name metadata so Perfetto labels hosts. *)
@@ -125,9 +126,12 @@ let chrome sink =
       add_chrome_event b e)
     events;
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
-  Buffer.add_string b (string_of_int (Trace.sink_dropped sink));
+  Buffer.add_string b (string_of_int dropped);
   Buffer.add_string b "}}\n";
   Buffer.contents b
+
+let chrome sink =
+  chrome_events ~dropped:(Trace.sink_dropped sink) (Trace.sink_events sink)
 
 (* ------------------------------------------------------------------ *)
 

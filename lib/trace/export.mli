@@ -10,3 +10,12 @@ val chrome : Trace.sink -> string
 
 val jsonl_to_file : Trace.sink -> string -> unit
 val chrome_to_file : Trace.sink -> string -> unit
+
+(** {1 Event-list renderings}
+
+    The same renderings over a bare event list, for streams assembled
+    outside a single sink — e.g. the parallel engine's per-LP traces
+    merged into one deterministic stream. *)
+
+val jsonl_events : Event.t list -> string
+val chrome_events : ?dropped:int -> Event.t list -> string

@@ -15,7 +15,16 @@
 
    3.  Bounded memory.  Events land in a fixed-capacity ring
        (overwrite-oldest); the count of overwritten events is kept so a
-       truncated trace is detectable. *)
+       truncated trace is detectable.
+
+   4.  Domain safety.  The installed sink is *domain-local* (one slot
+       per OCaml domain, via [Domain.DLS]), not process-global: the
+       parallel engine runs one logical process per domain, each
+       recording into its own sink, and unsynchronized writes to a
+       shared ring would be both a data race and a determinism hole.
+       On the hot path this costs one DLS load (an array index off the
+       domain record) instead of one ref load — noise next to the
+       event construction it guards. *)
 
 type sink = {
   ring : Event.t Ring.t;
@@ -24,30 +33,26 @@ type sink = {
   mutable seq : int;
 }
 
-let current : sink option ref = ref None
-let enabled = ref false
+let slot : sink option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
-let[@inline] on () = !enabled
+let[@inline] on () =
+  match !(Domain.DLS.get slot) with Some _ -> true | None -> false
 
 let default_capacity = 65_536
 
 let make_sink ?(capacity = default_capacity) ~clock () =
   { ring = Ring.create ~capacity; metrics = Metrics.create (); clock; seq = 0 }
 
+let use s = Domain.DLS.get slot := s
+
 let install sink =
-  current := Some sink;
-  enabled := true;
+  use (Some sink);
   sink
 
 let start ?capacity ~clock () = install (make_sink ?capacity ~clock ())
-
-let stop () =
-  enabled := false;
-  current := None
-
-let active () = !current
-
-let with_sink f = match !current with Some s when !enabled -> f s | Some _ | None -> ()
+let stop () = use None
+let active () = !(Domain.DLS.get slot)
+let with_sink f = match !(Domain.DLS.get slot) with Some s -> f s | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Emission *)
@@ -80,7 +85,7 @@ let span ?host ?fiber ?args ~cat name f =
 
 let incr ?by name = with_sink (fun s -> Metrics.incr ?by s.metrics name)
 let observe name v = with_sink (fun s -> Metrics.observe s.metrics name v)
-let metrics () = match !current with Some s -> Some s.metrics | None -> None
+let metrics () = match active () with Some s -> Some s.metrics | None -> None
 
 (* ------------------------------------------------------------------ *)
 (* Inspection *)
@@ -93,9 +98,9 @@ let sink_clear s =
   Metrics.reset s.metrics;
   s.seq <- 0
 
-let events () = match !current with Some s -> sink_events s | None -> []
-let dropped () = match !current with Some s -> sink_dropped s | None -> 0
-let clear () = match !current with Some s -> sink_clear s | None -> ()
+let events () = match active () with Some s -> sink_events s | None -> []
+let dropped () = match active () with Some s -> sink_dropped s | None -> 0
+let clear () = match active () with Some s -> sink_clear s | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Trace-based assertions: protocol-level properties over the recorded

@@ -1,9 +1,13 @@
 (** The structured event recorder.
 
-    A process-global sink receives typed events ({!Event.t}) into a
+    A {e domain-local} sink receives typed events ({!Event.t}) into a
     fixed-capacity ring buffer and aggregates counters/histograms into a
-    {!Metrics.t} registry.  When no sink is installed the recorder costs
-    one boolean load: instrumentation sites must guard emission with
+    {!Metrics.t} registry.  Each OCaml domain has its own sink slot
+    (the parallel engine records one trace per logical process and
+    merges them deterministically at export); single-domain programs
+    see the familiar "one global sink" behaviour.  When no sink is
+    installed the recorder costs one domain-local load:
+    instrumentation sites must guard emission with
     [if Trace.on () then Trace.emit ...] so argument lists are never
     allocated for a disabled trace.
 
@@ -15,16 +19,28 @@
 type sink
 
 val on : unit -> bool
-(** True iff a sink is installed and recording. *)
+(** True iff a sink is installed and recording on the calling domain. *)
 
 val start : ?capacity:int -> clock:(unit -> float) -> unit -> sink
-(** Install a fresh global sink.  [clock] supplies event timestamps —
-    pass the simulation clock, never wall time.  [capacity] is the ring
-    size in events (default 65536); on overflow the oldest events are
-    overwritten and counted in {!dropped}. *)
+(** Install a fresh sink on the calling domain.  [clock] supplies event
+    timestamps — pass the simulation clock, never wall time.
+    [capacity] is the ring size in events (default 65536); on overflow
+    the oldest events are overwritten and counted in {!dropped}. *)
 
 val stop : unit -> unit
 val active : unit -> sink option
+
+val make_sink : ?capacity:int -> clock:(unit -> float) -> unit -> sink
+(** Build a sink without installing it anywhere — {!start} is
+    [make_sink] + {!use}.  The parallel engine creates one per logical
+    process and installs it on whichever domain runs that LP. *)
+
+val use : sink option -> unit
+(** [use s] sets the calling domain's sink slot directly — [use (Some
+    s)] resumes recording into an existing sink, [use None] is
+    {!stop}.  The parallel engine uses this to point each worker
+    domain at its logical process's sink without creating a fresh
+    one. *)
 
 (** {1 Emission} *)
 

@@ -55,13 +55,53 @@ let test_batch_coalesces_same_instant () =
   let ev_b, to_b_b, to_c_b, delivered_b = send_burst ~batching:true () in
   let ev_u, to_b_u, to_c_u, delivered_u = send_burst ~batching:false () in
   Alcotest.(check int) "unbatched: one event per copy" 4 ev_u;
-  Alcotest.(check int) "batched: one event per (dst, arrival)" 2 ev_b;
+  (* All four copies share the zero-jitter arrival instant, so the
+     whole burst — including the cross-destination fan-out to c —
+     rides one delivery event. *)
+  Alcotest.(check int) "batched: one event per arrival instant" 1 ev_b;
   Alcotest.(check int) "batched delivers all copies" 4 delivered_b;
   Alcotest.(check int) "unbatched delivers all copies" 4 delivered_u;
   Alcotest.(check (list string)) "batched order = send order" [ "1"; "2"; "3" ] to_b_b;
   Alcotest.(check (list string)) "unbatched order = send order" [ "1"; "2"; "3" ] to_b_u;
   Alcotest.(check (list string)) "second destination batched" [ "x" ] to_c_b;
   Alcotest.(check (list string)) "second destination unbatched" [ "x" ] to_c_u
+
+(* Multicast fan-out: under zero jitter all copies of one transmission
+   share the arrival instant, so the whole fan-out — distinct
+   destinations included — must ride a single delivery event. *)
+let test_multicast_fanout_coalesces () =
+  let fanout ~batching =
+    let engine = Engine.create () in
+    let net = Net.create engine ~params:zero_jitter () in
+    let a = Net.add_host net ~name:"a" () in
+    let sa = Net.udp_bind net a ~port:10 () in
+    let dsts =
+      List.init 3 (fun i ->
+          let h = Net.add_host net ~name:(Printf.sprintf "m%d" i) () in
+          Net.udp_bind net h ~port:10 ())
+    in
+    Net.set_batching net batching;
+    Net.send_multicast net ~src:(Net.socket_addr sa)
+      ~dsts:(List.map Net.socket_addr dsts)
+      (Bytes.of_string "mc");
+    let events = Engine.pending engine in
+    Engine.run engine;
+    let received =
+      List.map
+        (fun s ->
+          match Mailbox.try_recv (Net.mailbox s) with
+          | Some d -> Bytes.to_string d.Net.payload
+          | None -> "")
+        dsts
+    in
+    (events, received)
+  in
+  let ev_b, rx_b = fanout ~batching:true in
+  let ev_u, rx_u = fanout ~batching:false in
+  Alcotest.(check int) "unbatched: one event per destination" 3 ev_u;
+  Alcotest.(check int) "batched: whole fan-out on one event" 1 ev_b;
+  Alcotest.(check (list string)) "batched fan-out delivered" [ "mc"; "mc"; "mc" ] rx_b;
+  Alcotest.(check (list string)) "unbatched fan-out delivered" [ "mc"; "mc"; "mc" ] rx_u
 
 let test_disable_flushes_buffered () =
   let engine = Engine.create () in
@@ -261,6 +301,8 @@ let () =
     [ ( "coalescing",
         [ Alcotest.test_case "same-instant copies share an event" `Quick
             test_batch_coalesces_same_instant;
+          Alcotest.test_case "multicast fan-out shares an event" `Quick
+            test_multicast_fanout_coalesces;
           Alcotest.test_case "disabling flushes buffered copies" `Quick
             test_disable_flushes_buffered ] );
       ( "determinism",

@@ -1,0 +1,258 @@
+(* Tests for the parallel engine: pinned per-LP PRNG streams, the SPSC
+   channel, cross-LP post validation and error propagation, K = 1
+   degradation to the sequential engine, cross-shard datagram delivery,
+   and the central oracle — equal seeds give byte-identical merged
+   traces for any domain count, plain and under a chaos plan. *)
+
+open Circus_sim
+open Circus_net
+module Trace = Circus_trace.Trace
+module Tev = Circus_trace.Event
+module Export = Circus_trace.Export
+module Plan = Circus_fault.Plan
+module Injector = Circus_fault.Injector
+
+(* ------------------------------------------------------------------ *)
+(* Prng.stream: pinned sequences, stability under re-partitioning. *)
+
+(* Golden values for seed 42.  If these move, every recorded parallel
+   trace in the repo silently changes meaning — treat a failure here as
+   an incompatible change, not a test to update casually. *)
+let test_stream_pinned () =
+  let draws index =
+    let root = Prng.create 42 in
+    let s = Prng.stream root ~index in
+    let d1 = Prng.int64 s in
+    let d2 = Prng.int64 s in
+    (d1, d2)
+  in
+  let check name expected got = Alcotest.(check (pair int64 int64)) name expected got in
+  check "stream 0" (3505631722651584648L, 4880698606694517094L) (draws 0);
+  check "stream 1" (-681878674267957505L, -7414694342264450337L) (draws 1);
+  check "stream 2" (1106807201132000495L, -841772654700418151L) (draws 2)
+
+let test_stream_stable () =
+  (* Deriving other streams (or none) must not perturb stream [i]:
+     re-partitioning a simulation into a different LP count leaves each
+     LP's randomness untouched. *)
+  let many =
+    let root = Prng.create 9 in
+    let streams = List.init 8 (fun i -> Prng.stream root ~index:i) in
+    Prng.int64 (List.nth streams 5)
+  in
+  let alone =
+    let root = Prng.create 9 in
+    Prng.int64 (Prng.stream root ~index:5)
+  in
+  Alcotest.(check int64) "stream 5 independent of siblings" alone many;
+  (* ...and must not advance the root. *)
+  let advanced =
+    let root = Prng.create 9 in
+    ignore (Prng.stream root ~index:3);
+    Prng.int64 root
+  in
+  let fresh = Prng.int64 (Prng.create 9) in
+  Alcotest.(check int64) "stream leaves the root unadvanced" fresh advanced;
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Prng.stream: negative index") (fun () ->
+      ignore (Prng.stream (Prng.create 0) ~index:(-1)))
+
+(* ------------------------------------------------------------------ *)
+(* The SPSC channel: FIFO order survives the overflow spill. *)
+
+let test_channel_fifo_spill () =
+  let ch = Lp.Channel.create ~capacity:4 () in
+  Alcotest.(check bool) "fresh channel empty" true (Lp.Channel.is_empty ch);
+  Alcotest.(check (float 0.0)) "empty min_pending" infinity (Lp.Channel.min_pending ch);
+  for i = 0 to 9 do
+    Lp.Channel.push ch ~arrival:(10.0 -. float_of_int i) i
+  done;
+  Alcotest.(check (float 0.0)) "min over ring and spill" 1.0 (Lp.Channel.min_pending ch);
+  let got = ref [] in
+  Lp.Channel.drain ch ~f:(fun ~arrival:_ v -> got := v :: !got);
+  Alcotest.(check (list int)) "push order across the spill boundary"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !got);
+  Alcotest.(check bool) "drained channel empty" true (Lp.Channel.is_empty ch);
+  Alcotest.(check (float 0.0)) "drain resets min_pending" infinity (Lp.Channel.min_pending ch)
+
+(* ------------------------------------------------------------------ *)
+(* post validation and worker-error propagation. *)
+
+let test_post_validation () =
+  let t = Parallel.create ~lps:2 ~lookahead:1.0 () in
+  (try
+     Parallel.post t ~src:0 ~dst:0 ~at:5.0 (fun () -> ());
+     Alcotest.fail "src = dst accepted"
+   with Invalid_argument _ -> ());
+  (* A lookahead violation raised inside a round must surface from
+     [run], whichever domain ran the offending LP. *)
+  let violated = ref false in
+  ignore
+    (Engine.schedule_abs (Parallel.engine t 0) ~at:1.0 (fun () ->
+         Parallel.post t ~src:0 ~dst:1 ~at:0.5 (fun () -> ())));
+  (try Parallel.run ~until:3.0 ~domains:2 t with Invalid_argument _ -> violated := true);
+  Alcotest.(check bool) "lookahead violation re-raised by run" true !violated
+
+(* ------------------------------------------------------------------ *)
+(* K = 1 degrades byte-identically to the plain sequential engine. *)
+
+let schedule_ticks engine =
+  for i = 1 to 5 do
+    ignore
+      (Engine.schedule_abs engine
+         ~at:(0.01 *. float_of_int i)
+         (fun () -> Trace.emit ~cat:"test" ~host:i ~args:[ ("i", Tev.Int i) ] "tick"))
+  done
+
+let test_k1_matches_sequential () =
+  let par_trace =
+    let t = Parallel.create ~seed:7 ~lps:1 ~lookahead:1.0 () in
+    Parallel.enable_tracing t;
+    Parallel.with_lp t 0 (fun () -> schedule_ticks (Parallel.engine t 0));
+    Parallel.run t;
+    Export.jsonl_events (Parallel.merged_events t)
+  in
+  let seq_trace =
+    (* LP 0's engine seed is the first draw of stream 0 — reproduce it
+       and the trace must match byte for byte. *)
+    let seed = Int64.to_int (Prng.int64 (Prng.stream (Prng.create 7) ~index:0)) land max_int in
+    let engine = Engine.create ~seed () in
+    let sink = Trace.make_sink ~clock:(fun () -> Engine.now engine) () in
+    Trace.use (Some sink);
+    Fun.protect ~finally:(fun () -> Trace.use None) @@ fun () ->
+    schedule_ticks engine;
+    Engine.run engine;
+    Export.jsonl_events (Trace.sink_events sink)
+  in
+  Alcotest.(check string) "k=1 trace equals sequential engine" seq_trace par_trace
+
+(* ------------------------------------------------------------------ *)
+(* Cluster: cross-shard datagrams arrive through the channels. *)
+
+let test_cluster_cross_shard_delivery () =
+  let c = Cluster.create ~lps:2 () in
+  let h0 = Cluster.add_host c () in
+  let h1 = Cluster.add_host c () in
+  Alcotest.(check int) "round-robin placement" 1 (Cluster.lp_of_host c (Host.id h1));
+  let s0 = Net.udp_bind (Cluster.net_of_host c (Host.id h0)) h0 ~port:9 () in
+  let s1 = Net.udp_bind (Cluster.net_of_host c (Host.id h1)) h1 ~port:9 () in
+  ignore
+    (Engine.schedule_abs (Cluster.engine c 0) ~at:0.0 (fun () ->
+         Net.send
+           (Cluster.net_of_host c (Host.id h0))
+           ~src:(Net.socket_addr s0) ~dst:(Net.socket_addr s1) (Bytes.of_string "hi")));
+  Cluster.run ~until:1.0 c;
+  (match Mailbox.try_recv (Net.mailbox s1) with
+  | Some d -> Alcotest.(check string) "payload crossed shards" "hi" (Bytes.to_string d.Net.payload)
+  | None -> Alcotest.fail "cross-shard datagram not delivered");
+  let stats = Cluster.stats c in
+  Alcotest.(check int) "delivered once" 1 stats.Net.delivered;
+  Alcotest.(check int) "nothing dropped" 0 stats.Net.dropped
+
+(* ------------------------------------------------------------------ *)
+(* The determinism oracle: equal seeds, byte-identical merged traces at
+   any domain count — the property CI's cmp gate enforces end to end. *)
+
+(* An 8-host ring over 4 LPs: every host periodically fires a datagram
+   at its clockwise neighbours (+1 local-ish, +3 always remote), so
+   every barrier carries cross-shard traffic in both directions.  The
+   chaos variant stretches the run to a 5 s fault horizon — the plan
+   generator emits nothing for sub-second horizons — so crashes,
+   partitions and bursts actually land mid-traffic. *)
+let cluster_trace ~seed ~domains ~chaos =
+  let params = { Net.default_params with propagation = 2e-3; jitter_mean = 5e-4 } in
+  let c = Cluster.create ~seed ~params ~lps:4 () in
+  Cluster.enable_tracing c;
+  let hosts = Array.init 8 (fun i -> Cluster.add_host c ~name:(Printf.sprintf "h%d" i) ()) in
+  let socks =
+    Array.map (fun h -> Net.udp_bind (Cluster.net_of_host c (Host.id h)) h ~port:9 ()) hosts
+  in
+  let rounds, interval, until = if chaos then (54, 0.1, 6.0) else (24, 0.015, 0.5) in
+  Array.iteri
+    (fun i h ->
+      let id = Host.id h in
+      let lp = Cluster.lp_of_host c id in
+      let net = Cluster.net c lp in
+      let engine = Cluster.engine c lp in
+      let src = Net.socket_addr socks.(i) in
+      Cluster.with_lp c lp (fun () ->
+          let rec tick k () =
+            List.iter
+              (fun step ->
+                Net.send net ~src
+                  ~dst:(Net.socket_addr socks.((i + step) mod 8))
+                  (Bytes.of_string (Printf.sprintf "m%d.%d" i k)))
+              [ 1; 3 ];
+            if k < rounds then ignore (Engine.schedule engine ~delay:interval (tick (k + 1)))
+          in
+          ignore (Engine.schedule_abs engine ~at:(0.01 *. float_of_int (i + 1)) (tick 0))))
+    hosts;
+  let plan_steps =
+    if chaos then begin
+      let plan =
+        Plan.random ~seed:(seed lxor 0x5A5A) ~victims:[ 2; 3; 5 ] ~others:[ 0; 1 ] ~horizon:5.0
+          ()
+      in
+      Injector.inject_cluster c plan;
+      List.length plan
+    end
+    else 0
+  in
+  Cluster.run ~until ~domains c;
+  let trace = Export.jsonl_events (Cluster.merged_events c) in
+  let stats = Cluster.stats c in
+  (trace, stats.Net.sent, stats.Net.delivered, plan_steps)
+
+let check_domain_invariance ~seed ~chaos =
+  let t1, sent1, del1, steps1 = cluster_trace ~seed ~domains:1 ~chaos in
+  let t2, sent2, del2, _ = cluster_trace ~seed ~domains:2 ~chaos in
+  let t4, sent4, del4, _ = cluster_trace ~seed ~domains:4 ~chaos in
+  if sent1 = 0 then Alcotest.fail "workload sent nothing — vacuous trace comparison";
+  if chaos && steps1 = 0 then Alcotest.fail "empty chaos plan — vacuous chaos comparison";
+  if t1 <> t2 || t1 <> t4 then false
+  else begin
+    assert (sent1 = sent2 && sent1 = sent4);
+    assert (del1 = del2 && del1 = del4);
+    true
+  end
+
+let test_domains_invariant_fixed_seed () =
+  Alcotest.(check bool) "domains 1 = 2 = 4 (seed 11)" true
+    (check_domain_invariance ~seed:11 ~chaos:false)
+
+let test_domains_invariant_chaos_fixed_seed () =
+  Alcotest.(check bool) "domains 1 = 2 = 4 under chaos (seed 11)" true
+    (check_domain_invariance ~seed:11 ~chaos:true)
+
+let prop_domains_invariant =
+  QCheck.Test.make ~count:4 ~name:"equal seed => byte-identical trace for domains {1,2,4}"
+    QCheck.(0 -- 10_000)
+    (fun seed -> check_domain_invariance ~seed ~chaos:false)
+
+let prop_domains_invariant_chaos =
+  QCheck.Test.make ~count:4
+    ~name:"equal seed + chaos plan => byte-identical trace for domains {1,2,4}"
+    QCheck.(0 -- 10_000)
+    (fun seed -> check_domain_invariance ~seed ~chaos:true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "circus_parallel"
+    [ ( "prng",
+        [ Alcotest.test_case "pinned stream sequences" `Quick test_stream_pinned;
+          Alcotest.test_case "stream stability" `Quick test_stream_stable ] );
+      ("channel", [ Alcotest.test_case "fifo across spill" `Quick test_channel_fifo_spill ]);
+      ("post", [ Alcotest.test_case "validation and propagation" `Quick test_post_validation ]);
+      ( "degradation",
+        [ Alcotest.test_case "k=1 equals sequential" `Quick test_k1_matches_sequential ] );
+      ( "cluster",
+        [ Alcotest.test_case "cross-shard delivery" `Quick test_cluster_cross_shard_delivery ]
+      );
+      ( "determinism",
+        Alcotest.test_case "fixed seed, domains 1/2/4" `Quick test_domains_invariant_fixed_seed
+        :: Alcotest.test_case "fixed seed + chaos, domains 1/2/4" `Quick
+             test_domains_invariant_chaos_fixed_seed
+        :: qcheck [ prop_domains_invariant; prop_domains_invariant_chaos ] ) ]
