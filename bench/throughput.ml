@@ -217,6 +217,20 @@ let bench_rpc ~iterations ~n =
     ~ops:iterations
     (fun () -> ignore (Workloads.circus_row ~iterations ~n ()))
 
+(* Burst path: the same replicated call with an ~11.5 KB argument so
+   every call/reply is an 8-segment message — each send is one
+   [Syscall.sendmsg_vec] charge span plus one batched injection rather
+   than eight sleep/wake round-trips.  Tracked separately from the
+   64-byte rows because the two stress different code: rpc_calls_n*
+   is dominated by fixed per-call machinery, rpc_burst_seg8_n* by the
+   per-segment charge loop. *)
+
+let bench_rpc_burst ~iterations ~n =
+  best
+    ~name:(Printf.sprintf "rpc_burst_seg8_n%d" n)
+    ~ops:iterations
+    (fun () -> ignore (Workloads.circus_row ~iterations ~n ~payload:11_520 ()))
+
 (* ------------------------------------------------------------------ *)
 (* JSON out / baseline in *)
 
@@ -322,6 +336,7 @@ let () =
           else None)
         [ 1; 2; 4 ]
     @ List.map (fun n -> bench_rpc ~iterations:(scale 300) ~n) [ 1; 2; 3; 4; 5 ]
+    @ List.map (fun n -> bench_rpc_burst ~iterations:(scale 150) ~n) [ 1; 3 ]
   in
   Printf.printf "%-20s | %12s | %10s | %14s\n" "bench" "ops" "wall (s)" "rate (ops/s)";
   List.iter

@@ -118,8 +118,11 @@ let tcp_row ?(iterations = 200) () =
     profile = Meter.by_syscall meter }
 
 (* A Circus replicated procedure call to a troupe of [n] echo servers
-   (the rpctest client and server of Figure 4.7). *)
-let circus_row ?(iterations = 60) ?(multicast = false) ~n () =
+   (the rpctest client and server of Figure 4.7).  [payload] defaults
+   to the paper's 64-byte argument record; larger values exercise the
+   multi-segment burst path (a segment carries MTU - header bytes, so
+   ~11.5 KB is an 8-segment call). *)
+let circus_row ?(iterations = 60) ?(multicast = false) ?(payload = payload_bytes) ~n () =
   let engine, net, env = testbed () in
   let members =
     List.init n (fun i ->
@@ -140,7 +143,7 @@ let circus_row ?(iterations = 60) ?(multicast = false) ~n () =
   let elapsed = ref 0.0 in
   ignore
     (Runtime.spawn_thread client_rt (fun ctx ->
-         let body = Bytes.create payload_bytes in
+         let body = Bytes.create payload in
          for _ = 1 to 3 do
            ignore (Runtime.call_troupe ctx troupe ~proc_no:0 ~multicast body)
          done;

@@ -33,13 +33,40 @@ let fast_costs =
     read = scale default_costs.read;
     write = scale default_costs.write }
 
-type env = { net : Net.t; costs : costs }
+type env = {
+  net : Net.t;
+  costs : costs;
+  (* Burst charging on ([Host.charge_span]) or off (per-charge
+     [use_cpu] loop).  The two are observationally identical — the
+     toggle exists so the equivalence tests can run both modes and
+     compare traces byte for byte. *)
+  mutable burst : bool;
+}
 
-let make net ?(costs = default_costs) () = { net; costs }
+let make net ?(costs = default_costs) () = { net; costs; burst = true }
 let net env = env.net
 let costs env = env.costs
+let set_burst env flag = env.burst <- flag
+let burst_charging env = env.burst
 
 let charge _env ?meter host ~name cost = Host.use_cpu host ?meter ~kind:(`Kernel name) cost
+
+(* Generic burst entry: the run of charges [use_cpu host ~kind:(kind i)
+   (cost i)] with per-element [before]/[after] hooks, routed through
+   [Host.charge_span] when burst charging is enabled (the default) or
+   through the literal per-charge loop otherwise.  Same schedule either
+   way; see [Host.charge_span]. *)
+let no_hook (_ : int) = ()
+
+let charge_burst env ?meter host ~n ?(before = no_hook) ~kind ~cost
+    ?(after = no_hook) () =
+  if env.burst then Host.charge_span host ?meter ~n ~before ~kind ~cost ~after ()
+  else
+    for i = 0 to n - 1 do
+      before i;
+      Host.use_cpu host ?meter ~kind:(kind i) (cost i);
+      after i
+    done
 
 let sendmsg env ?meter sock ~dst payload =
   charge env ?meter (Net.socket_host sock) ~name:"sendmsg" env.costs.sendmsg;
@@ -48,27 +75,72 @@ let sendmsg env ?meter sock ~dst payload =
 (* Vectored burst: one syscall-layer entry for a run of datagrams to
    one destination.  Each element is charged and injected exactly as a
    standalone [sendmsg] — same per-datagram cost, same injection
-   instants (the clock advances between elements as each charge is
-   served) — so a burst's metered time and arrival schedule are
-   byte-for-byte those of the equivalent loop.  The win is structural:
-   callers hand the transport a whole message's segments at once,
-   which is what lets the network batcher coalesce any same-instant
-   copies downstream. *)
-let no_before (_ : int) = ()
-
-let sendmsg_vec env ?meter ?(before = no_before) sock ~dst payloads =
+   instants (each datagram enters the net at its own charge's end
+   instant, derived by [Host.charge_span]) — so a burst's metered time
+   and arrival schedule are byte-for-byte those of the equivalent
+   loop, while a quiet K-segment burst costs one pass instead of K
+   sleep/wake round-trips.  [?user_cost] interleaves the caller's
+   per-segment user-time (marshaling) charge ahead of each kernel
+   charge, inside the same span. *)
+let sendmsg_vec env ?meter ?(before = no_hook) ?user_cost
+    ?(on_segment = no_hook) sock ~dst payloads =
   let host = Net.socket_host sock in
   let src = Net.socket_addr sock in
-  Array.iteri
-    (fun i payload ->
-      before i;
-      charge env ?meter host ~name:"sendmsg" env.costs.sendmsg;
-      Net.send env.net ~src ~dst payload)
-    payloads
+  let net = env.net in
+  let sendmsg_cost = env.costs.sendmsg in
+  match user_cost with
+  | None ->
+    charge_burst env ?meter host ~n:(Array.length payloads)
+      ~before:(fun i ->
+        before i;
+        on_segment i)
+      ~kind:(fun _ -> `Kernel "sendmsg")
+      ~cost:(fun _ -> sendmsg_cost)
+      ~after:(fun i -> Net.send net ~src ~dst payloads.(i))
+      ()
+  | Some u ->
+    (* Interleaved [user; sendmsg] pairs: element [2i] is segment [i]'s
+       user-time charge (with [on_segment i] at its end instant),
+       element [2i+1] its kernel send charge (with the injection at its
+       end instant). *)
+    charge_burst env ?meter host
+      ~n:(2 * Array.length payloads)
+      ~before:(fun j -> if j land 1 = 0 then before (j lsr 1))
+      ~kind:(fun j -> if j land 1 = 0 then `User else `Kernel "sendmsg")
+      ~cost:(fun j -> if j land 1 = 0 then u else sendmsg_cost)
+      ~after:(fun j ->
+        if j land 1 = 0 then on_segment (j lsr 1)
+        else Net.send net ~src ~dst payloads.(j lsr 1))
+      ()
 
 let sendmsg_multicast env ?meter sock ~dsts payload =
   charge env ?meter (Net.socket_host sock) ~name:"sendmsg" env.costs.sendmsg;
   Net.send_multicast env.net ~src:(Net.socket_addr sock) ~dsts payload
+
+(* Multicast analogue of [sendmsg_vec]: one [sendmsg]-priced charge per
+   segment, each reaching every destination. *)
+let sendmsg_multicast_vec env ?meter ?user_cost ?(on_segment = no_hook) sock
+    ~dsts payloads =
+  let host = Net.socket_host sock in
+  let src = Net.socket_addr sock in
+  let net = env.net in
+  let sendmsg_cost = env.costs.sendmsg in
+  match user_cost with
+  | None ->
+    charge_burst env ?meter host ~n:(Array.length payloads) ~before:on_segment
+      ~kind:(fun _ -> `Kernel "sendmsg")
+      ~cost:(fun _ -> sendmsg_cost)
+      ~after:(fun i -> Net.send_multicast net ~src ~dsts payloads.(i))
+      ()
+  | Some u ->
+    charge_burst env ?meter host
+      ~n:(2 * Array.length payloads)
+      ~kind:(fun j -> if j land 1 = 0 then `User else `Kernel "sendmsg")
+      ~cost:(fun j -> if j land 1 = 0 then u else sendmsg_cost)
+      ~after:(fun j ->
+        if j land 1 = 0 then on_segment (j lsr 1)
+        else Net.send_multicast net ~src ~dsts payloads.(j lsr 1))
+      ()
 
 let recvmsg env ?meter ?timeout sock =
   match Mailbox.recv ?timeout (Net.mailbox sock) with
@@ -77,27 +149,65 @@ let recvmsg env ?meter ?timeout sock =
     Some dgram
   | None -> None
 
-let select env ?meter ?timeout socks =
-  (match socks with
-  | [] -> invalid_arg "Syscall.select: no sockets"
-  | sock :: _ -> charge env ?meter (Net.socket_host sock) ~name:"select" env.costs.select);
+(* The blocking wait inside select, as a span on the host's track: the
+   gap between a select's slice and its wake is idle time the paper's
+   tables attribute to real time but not CPU time. *)
+let select_span_begin host =
+  if Trace.on () then begin
+    let host = Host.id host in
+    let fiber = Fiber.id (Fiber.self ()) in
+    Trace.span_begin ~cat:"syscall" ~host ~fiber "select.wait";
+    Some (host, fiber)
+  end
+  else None
+
+let select_span_end scope ~key ~value =
+  match scope with
+  | Some (host, fiber) ->
+    Trace.span_end ~cat:"syscall" ~host ~fiber
+      ~args:[ (key, Circus_trace.Event.Bool value) ]
+      "select.wait"
+  | None -> ()
+
+(* Single-socket wait — the shape every demux loop has — kept free of
+   the watcher-list plumbing the multi-socket path needs. *)
+let select_wait_one env ?timeout host sock =
+  let mb = Net.mailbox sock in
+  if Mailbox.length mb > 0 then true
+  else begin
+    let scope = select_span_begin host in
+    let watcher = ref None in
+    let timer = ref None in
+    let cleanup () =
+      (match !watcher with Some w -> Mailbox.unwatch mb w | None -> ());
+      match !timer with Some h -> Engine.cancel h | None -> ()
+    in
+    let result =
+      try
+        Fiber.suspend (fun wake ->
+            watcher := Some (Mailbox.watch mb (fun () -> wake (Ok true)));
+            match timeout with
+            | None -> ()
+            | Some duration ->
+              timer :=
+                Some
+                  (Engine.schedule (Net.engine env.net) ~delay:duration (fun () ->
+                       wake (Ok false))))
+      with e ->
+        cleanup ();
+        select_span_end scope ~key:"raised" ~value:true;
+        raise e
+    in
+    cleanup ();
+    select_span_end scope ~key:"ready" ~value:result;
+    result
+  end
+
+let select_wait_many env ?timeout host socks =
   let readable () = List.exists (fun s -> Mailbox.length (Net.mailbox s) > 0) socks in
   if readable () then true
   else begin
-    (* The blocking wait inside select, as a span on the host's track:
-       the gap between a select's slice and its wake is idle time the
-       paper's tables attribute to real time but not CPU time. *)
-    let trace_scope =
-      if Trace.on () then
-        match socks with
-        | sock :: _ ->
-          let host = Host.id (Net.socket_host sock) in
-          let fiber = Fiber.id (Fiber.self ()) in
-          Trace.span_begin ~cat:"syscall" ~host ~fiber "select.wait";
-          Some (host, fiber)
-        | [] -> None
-      else None
-    in
+    let scope = select_span_begin host in
     let watchers = ref [] in
     let timer = ref None in
     let cleanup () =
@@ -121,23 +231,36 @@ let select env ?meter ?timeout socks =
                        wake (Ok false))))
       with e ->
         cleanup ();
-        (match trace_scope with
-        | Some (host, fiber) ->
-          Trace.span_end ~cat:"syscall" ~host ~fiber
-            ~args:[ ("raised", Circus_trace.Event.Bool true) ]
-            "select.wait"
-        | None -> ());
+        select_span_end scope ~key:"raised" ~value:true;
         raise e
     in
     cleanup ();
-    (match trace_scope with
-    | Some (host, fiber) ->
-      Trace.span_end ~cat:"syscall" ~host ~fiber
-        ~args:[ ("ready", Circus_trace.Event.Bool result) ]
-        "select.wait"
-    | None -> ());
+    select_span_end scope ~key:"ready" ~value:result;
     result
   end
+
+let select env ?meter ?timeout socks =
+  match socks with
+  | [] -> invalid_arg "Syscall.select: no sockets"
+  | [ sock ] ->
+    let host = Net.socket_host sock in
+    charge env ?meter host ~name:"select" env.costs.select;
+    select_wait_one env ?timeout host sock
+  | sock :: rest ->
+    (* One select charges one kernel, so the whole set must live on one
+       host — a list spanning hosts would silently bill only the head
+       socket's machine. *)
+    let host = Net.socket_host sock in
+    List.iter
+      (fun s ->
+        if Net.socket_host s != host then
+          invalid_arg
+            (Printf.sprintf "Syscall.select: sockets span hosts (%s vs %s)"
+               (Host.name host)
+               (Host.name (Net.socket_host s))))
+      rest;
+    charge env ?meter host ~name:"select" env.costs.select;
+    select_wait_many env ?timeout host socks
 
 let setitimer env ?meter host = charge env ?meter host ~name:"setitimer" env.costs.setitimer
 

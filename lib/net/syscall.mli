@@ -37,23 +37,85 @@ val make : Net.t -> ?costs:costs -> unit -> env
 val net : env -> Net.t
 val costs : env -> costs
 
+val set_burst : env -> bool -> unit
+(** Enable (default) or disable burst charging.  When on, multi-charge
+    entry points ({!sendmsg_vec}, {!charge_burst}) advance through a
+    run of same-host charges with [Host.charge_span] — derived
+    per-charge instants, at most one real sleep per element only when
+    events intervene; when off they perform the literal per-charge
+    [Host.use_cpu] loop.  The two modes are observationally identical
+    (same event schedule, traces, meter totals); the switch exists for
+    the equivalence tests. *)
+
+val burst_charging : env -> bool
+
+val charge_burst :
+  env ->
+  ?meter:Meter.t ->
+  Host.t ->
+  n:int ->
+  ?before:(int -> unit) ->
+  kind:(int -> [ `User | `Kernel of string ]) ->
+  cost:(int -> float) ->
+  ?after:(int -> unit) ->
+  unit ->
+  unit
+(** Perform the run of charges [Host.use_cpu host ~kind:(kind i)
+    (cost i)] for [i = 0..n-1] with per-element [before]/[after] hooks,
+    via [Host.charge_span] or the per-charge loop per {!set_burst}.
+    Protocol layers use this to fuse fixed charge sequences (e.g. a
+    [gettimeofday] + user-time call preamble) into one span. *)
+
 val sendmsg : env -> ?meter:Meter.t -> Net.socket -> dst:Addr.t -> bytes -> unit
 (** Transmit one datagram (kernel cost charged, then injected into the
     network). *)
 
 val sendmsg_vec :
-  env -> ?meter:Meter.t -> ?before:(int -> unit) -> Net.socket -> dst:Addr.t -> bytes array -> unit
+  env ->
+  ?meter:Meter.t ->
+  ?before:(int -> unit) ->
+  ?user_cost:float ->
+  ?on_segment:(int -> unit) ->
+  Net.socket ->
+  dst:Addr.t ->
+  bytes array ->
+  unit
 (** Vectored burst: charge and inject each payload exactly as a
-    standalone {!sendmsg} would, in array order, running [before i]
-    (default nothing) ahead of element [i]'s charge — the slot for the
-    caller's own per-segment user-time cost.  Metered cost and
-    injection instants are identical to the equivalent loop — the
-    vectored form exists so a multi-segment message reaches the
-    transport as one unit (see {!Net.set_batching}). *)
+    standalone {!sendmsg} would, in array order.  Per element [i], in
+    order: [before i] (default nothing — arbitrary caller code), then
+    the [user_cost] user-time charge if given (the caller's
+    per-segment marshaling cost, fused into the same charge span), then
+    [on_segment i] at that user charge's end instant (the slot for a
+    per-segment trace emission), then the kernel [sendmsg] charge, then
+    the injection into the net at the kernel charge's end instant.
+    Metered cost and injection instants are identical to the
+    equivalent per-charge loop (see [Host.charge_span]) — the vectored
+    form exists so a multi-segment message reaches the transport as one
+    unit (see {!Net.set_batching}) and pays one bookkeeping pass, not K
+    sleep/wake round-trips.
+
+    Exception contract: if [before]/[on_segment] raises at element [i]
+    (or the host crashes under the burst), elements [< i] have been
+    fully charged and injected, element [i] and everything after it not
+    at all — a burst is never left half-charged for a segment. *)
 
 val sendmsg_multicast : env -> ?meter:Meter.t -> Net.socket -> dsts:Addr.t list -> bytes -> unit
 (** One [sendmsg]-priced transmission reaching every destination — the
     Ethernet multicast capability §4.3.7 wishes for. *)
+
+val sendmsg_multicast_vec :
+  env ->
+  ?meter:Meter.t ->
+  ?user_cost:float ->
+  ?on_segment:(int -> unit) ->
+  Net.socket ->
+  dsts:Addr.t list ->
+  bytes array ->
+  unit
+(** Vectored {!sendmsg_multicast}: per segment, one [sendmsg]-priced
+    charge reaching every destination, with the same per-element
+    [user_cost]/[on_segment] interleaving and exception contract as
+    {!sendmsg_vec}. *)
 
 val recvmsg : env -> ?meter:Meter.t -> ?timeout:float -> Net.socket -> Net.datagram option
 (** Blocking receive; [None] on timeout.  The kernel cost is charged
@@ -61,7 +123,11 @@ val recvmsg : env -> ?meter:Meter.t -> ?timeout:float -> Net.socket -> Net.datag
 
 val select : env -> ?meter:Meter.t -> ?timeout:float -> Net.socket list -> bool
 (** Block until any socket is readable ([true]) or the timeout expires
-    ([false]). *)
+    ([false]).  All sockets must belong to one host — a select is one
+    kernel call on one machine, and its cost is charged to that host.
+    Raises [Invalid_argument] on an empty list or a list whose sockets
+    span hosts (which would otherwise silently bill only the head
+    socket's machine). *)
 
 val setitimer : env -> ?meter:Meter.t -> Host.t -> unit
 (** Charge for arming or disarming the interval timer. *)

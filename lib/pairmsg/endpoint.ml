@@ -222,9 +222,10 @@ let start_outgoing t ?(defer_retransmit = false) ~dst ~msg_type ~call_no body ~s
   in
   Itab.replace t.outgoing (msg_key dst msg_type call_no) out;
   if send_burst then begin
-    (* The whole burst goes through one vectored send; the [before]
-       callback keeps the per-segment user charge and trace event at
-       exactly the instants the segment-by-segment loop produced. *)
+    (* The whole burst goes through one vectored send: one charge span
+       interleaving the per-segment user and kernel charges, with the
+       trace event and the injection at exactly the instants the
+       segment-by-segment loop produced. *)
     let total = Array.length segments in
     let segs =
       Array.mapi
@@ -232,9 +233,8 @@ let start_outgoing t ?(defer_retransmit = false) ~dst ~msg_type ~call_no body ~s
         out.o_segments
     in
     Syscall.sendmsg_vec t.env ~meter:t.meter t.sock ~dst
-      ~before:(fun i ->
-        Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_segment;
-        trace_seg t "seg_send" ~dst segs.(i))
+      ~user_cost:t.config.user_cost_per_segment
+      ~on_segment:(fun i -> trace_seg t "seg_send" ~dst segs.(i))
       (Array.map Segment.encode segs)
   end;
   (* A client exchange runs the retransmit starter from the same pooled
@@ -343,7 +343,14 @@ let start_exchange t ~dst ~call_no out deliver =
   Itab.replace t.exchanges (call_key dst call_no) x;
   (* Client-side buffering (§4.3.4): a server using the first-come
      broadcast policy may have sent our return message before we made
-     the call; if it is already here, the exchange completes at once. *)
+     the call; if it is already here, the exchange completes at once.
+
+     The retransmit and watchdog starters stay two separate dispatches:
+     the watchdog's setitimer must claim its CPU-queue slot at the
+     drained-event instant, before any later burst charges from the
+     next destination — fusing the two tasks moves that claim to the
+     retransmit charge's completion and shifts multi-destination send
+     instants (observable in Table 4.1 real time). *)
   let inc0 = Host.incarnation t.host in
   Host.run_pooled t.host ~label:"pairmsg.retransmit" (fun () ->
       if Host.incarnation t.host = inc0 then retransmit_start t out ~inc:inc0);
@@ -367,22 +374,27 @@ let call_many t ~dsts ?(multicast = false) ?call_no body =
           ("len", Tev.Int (Bytes.length body)) ]
       "call_start";
   let replies = Mailbox.create t.engine in
-  ignore (Syscall.gettimeofday t.env ~meter:t.meter t.host);
-  Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_call;
+  (* The fixed call preamble — timestamp plus user-time bookkeeping —
+     is two charges on one host; fuse them into one span. *)
+  let gettimeofday_cost = (Syscall.costs t.env).Syscall.gettimeofday in
+  Syscall.charge_burst t.env ~meter:t.meter t.host ~n:2
+    ~kind:(fun i -> if i = 0 then `Kernel "gettimeofday" else `User)
+    ~cost:(fun i -> if i = 0 then gettimeofday_cost else t.config.user_cost_per_call)
+    ();
   if multicast then begin
     (* One transmission per segment reaches the whole troupe; the
        per-destination outgoing records are created without their own
        burst, so only retransmissions are point-to-point. *)
     let segments = Segment.split_message ~mtu:(seg_size t + Segment.header_size) body in
     let total = Array.length segments in
-    Array.iteri
-      (fun i data ->
-        Syscall.compute t.env ~meter:t.meter t.host t.config.user_cost_per_segment;
-        Syscall.sendmsg_multicast t.env ~meter:t.meter t.sock ~dsts
-          (Segment.encode
+    Syscall.sendmsg_multicast_vec t.env ~meter:t.meter t.sock ~dsts
+      ~user_cost:t.config.user_cost_per_segment
+      (Array.mapi
+         (fun i data ->
+           Segment.encode
              (Segment.data_segment ~msg_type:Segment.Call ~total ~seg_no:(i + 1) ~call_no
-                (Bytes.of_string (Bytes.to_string data)))))
-      segments
+                data))
+         segments)
   end;
   List.iter
     (fun dst ->
@@ -617,8 +629,9 @@ let handle_segment t ~src seg =
     if seg.Segment.ack then handle_ack t ~src seg else handle_data t ~src seg
 
 let demux_loop t () =
+  let socks = [ t.sock ] in
   while not t.closed do
-    if Syscall.select t.env ~meter:t.meter [ t.sock ] then begin
+    if Syscall.select t.env ~meter:t.meter socks then begin
       match Syscall.recvmsg t.env ~meter:t.meter t.sock with
       | None -> ()
       | Some dgram -> (

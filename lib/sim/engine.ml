@@ -98,10 +98,14 @@ let create ?(seed = 42) () =
 
 let add_flush_hook t f = t.flush_hooks <- t.flush_hooks @ [ f ]
 
-(* Almost always an empty-list check; hooks themselves are expected to
-   no-op when they have nothing buffered. *)
+(* Almost always an empty-list check or a single call (one network per
+   engine is the common shape); hooks themselves are expected to no-op
+   when they have nothing buffered. *)
 let[@inline] run_flush_hooks t =
-  match t.flush_hooks with [] -> () | hooks -> List.iter (fun f -> f ()) hooks
+  match t.flush_hooks with
+  | [] -> ()
+  | [ f ] -> f ()
+  | hooks -> List.iter (fun f -> f ()) hooks
 
 let now t = t.now
 let prng t = t.root_prng

@@ -206,6 +206,29 @@ let sleep duration =
     Effect.perform (Sleep duration)
   end
 
+(* [sleep_busy]'s clock-jump fast path as a predicate, for callers that
+   advance through a run of derived instants ([Host.charge_span]): when
+   nothing is due before the target, jump the clock and report [true];
+   otherwise leave the clock untouched and report [false], in which case
+   the caller must fall back to a real [sleep_busy].  The fiber is
+   passed explicitly so a burst of K advances pays one [self] lookup,
+   not K.  Guards and accounting (cancellation, fast-forward streak)
+   are exactly [sleep_busy]'s, so a span of charges advanced this way
+   is observationally identical to the same charges each ending in
+   their own [sleep_busy]. *)
+let try_fast_sleep fiber duration =
+  let eng = fiber.engine_ in
+  if
+    duration > 0.0
+    && (not fiber.cancel_requested)
+    && fiber.ff_streak < ff_streak_cap
+    && Engine.try_advance eng ~target:(Engine.now eng +. duration)
+  then begin
+    fiber.ff_streak <- fiber.ff_streak + 1;
+    true
+  end
+  else false
+
 (* CPU-charge sleep ([Host.use_cpu]): same contract as [sleep], but when
    other events are due before the deadline, execute them inline on this
    stack ([Engine.sleep_drain]) instead of suspending around them.  The

@@ -45,6 +45,16 @@ val sleep_busy : float -> unit
 val sleep : float -> unit
 (** Block for a duration of virtual time. *)
 
+val try_fast_sleep : t -> float -> bool
+(** [try_fast_sleep fiber d] is {!sleep_busy}'s clock-jump fast path as
+    a predicate: if nothing is due before [now + d] (and the fiber is
+    neither cancelled nor over its fast-forward streak), jump the clock
+    there and return [true]; otherwise leave the clock untouched and
+    return [false] — the caller must then perform a real {!sleep_busy}
+    for the same duration.  Used by [Host.charge_span] to advance
+    through a burst of derived charge instants with at most one real
+    sleep.  [fiber] must be the currently executing fiber. *)
+
 val yield : unit -> unit
 (** Reschedule at the current instant, letting other ready fibers
     run. *)

@@ -71,7 +71,10 @@ let send t v =
     (match w.timer with Some h -> Engine.cancel h | None -> ());
     w.wake (Ok (Some v))
   | None -> Queue.push v t.items);
-  List.iter (fun w -> w.notify ()) t.watchers
+  match t.watchers with
+  | [] -> ()
+  | [ w ] -> w.notify ()
+  | ws -> List.iter (fun w -> w.notify ()) ws
 
 let try_recv t = Queue.take_opt t.items
 
@@ -113,4 +116,10 @@ let watch t notify =
   t.watchers <- w :: t.watchers;
   w
 
-let unwatch t w = t.watchers <- List.filter (fun w' -> w'.watcher_id <> w.watcher_id) t.watchers
+(* A watcher is almost always the newest one (selects nest LIFO), so
+   the head case is O(1); the rebuild only runs for out-of-order
+   removals. *)
+let unwatch t w =
+  match t.watchers with
+  | w' :: rest when w' == w -> t.watchers <- rest
+  | _ -> t.watchers <- List.filter (fun w' -> w'.watcher_id <> w.watcher_id) t.watchers

@@ -298,6 +298,43 @@ let test_inject_rejects_invalid () =
     (try Fault.inject net [ Plan.restart ~at:1.0 0 ]; false with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Fail-stop CPU accounting: a crashed machine burns no CPU.  A stale
+   reference to a plan-crashed host must have its charges rejected
+   ([Host.use_cpu] raises) with the CPU total frozen, and charge again
+   normally after the plan restarts the host. *)
+
+let test_crashed_host_rejects_charges () =
+  let engine = Engine.create () in
+  let net = Net.create engine () in
+  let victim = Net.add_host net ~name:"victim" () in
+  let other = Net.add_host net ~name:"other" () in
+  Fault.inject net
+    [ Plan.crash ~at:1.0 (Host.id victim); Plan.restart ~at:2.0 (Host.id victim) ];
+  let meter = Meter.create () in
+  let rejected = ref false in
+  let frozen_total = ref nan and frozen_meter = ref nan in
+  let after_restart = ref false in
+  ignore
+    (Host.spawn other (fun () ->
+         Host.use_cpu victim ~meter ~kind:`User 0.01;
+         let live_total = Host.cpu_time victim in
+         Fiber.sleep 1.1;  (* victim is down (crashed at 1.0, restarts at 2.0) *)
+         (match Host.use_cpu victim ~meter ~kind:`User 0.01 with
+         | () -> ()
+         | exception Invalid_argument _ -> rejected := true);
+         frozen_total := Host.cpu_time victim -. live_total;
+         frozen_meter := Meter.total meter;
+         Fiber.sleep 1.5;  (* victim has been restarted *)
+         Host.use_cpu victim ~meter ~kind:`User 0.01;
+         after_restart := true));
+  Engine.run engine;
+  Alcotest.(check bool) "charge on a crashed host rejected" true !rejected;
+  Alcotest.(check (float 1e-9)) "cpu total frozen across the rejection" 0.0 !frozen_total;
+  Alcotest.(check (float 1e-9)) "meter frozen across the rejection" 0.01 !frozen_meter;
+  Alcotest.(check bool) "restarted host charges again" true !after_restart;
+  Alcotest.(check (float 1e-9)) "post-restart charge metered" 0.02 (Meter.total meter)
+
+(* ------------------------------------------------------------------ *)
 (* Directed episode: crash + restart + rejoin with state transfer *)
 
 let test_crash_restart_rejoin () =
@@ -491,7 +528,9 @@ let () =
         [ Alcotest.test_case "burst epoch guard" `Quick test_burst_epoch_guard;
           Alcotest.test_case "rejects invalid plan" `Quick test_inject_rejects_invalid ] );
       ( "episodes",
-        [ Alcotest.test_case "crash+restart+rejoin" `Quick test_crash_restart_rejoin;
+        [ Alcotest.test_case "crashed host rejects charges" `Quick
+            test_crashed_host_rejects_charges;
+          Alcotest.test_case "crash+restart+rejoin" `Quick test_crash_restart_rejoin;
           Alcotest.test_case "equal-seed traces identical" `Quick
             test_equal_seed_chaos_traces_identical;
           Alcotest.test_case "golden fault traces" `Quick test_chaos_goldens;
