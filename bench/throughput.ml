@@ -231,6 +231,53 @@ let bench_rpc_burst ~iterations ~n =
     ~ops:iterations
     (fun () -> ignore (Workloads.circus_row ~iterations ~n ~payload:11_520 ()))
 
+(* Scenario engine: a reduced sharded world (64 hosts, 12 replicated
+   troupes, 2x2 partitioned Ringmaster, 8 shards) under open-loop
+   traffic, measured end to end — world construction, registration,
+   binding, replicated calls, collation.  The d = 1, 2, 4 rows give
+   the scenario-level scaling curve; completed requests per wall
+   second is the "heavy traffic" figure of merit. *)
+
+module Scenario = Circus_scenario.Scenario
+module Export = Circus_trace.Export
+
+let scenario_bench_spec ~arrival ~quick =
+  { Scenario.default with
+    Scenario.seed = 77;
+    lps = 8;
+    hosts = 96;
+    troupes = 12;
+    replicas = 3;
+    rm_partitions = 2;
+    rm_replicas = 2;
+    clients = 2_000;
+    (* ~125 req/s offered: comfortably inside this topology's stable
+       region (the retransmit/probe knee for 96 hosts sits near
+       160 req/s) so the rows measure engine throughput, not
+       congestion behaviour. *)
+    think = 16.0;
+    frontends = 4;
+    pool = 8;
+    warmup = 2.0;
+    duration = (if quick then 0.4 else 1.0);
+    arrival }
+
+let bench_scenario ~arrival ~domains ~quick =
+  let spec = scenario_bench_spec ~arrival ~quick in
+  let name = Printf.sprintf "scenario_%s_d%d" (Scenario.arrival_name arrival) domains in
+  (* ops (completed requests) is an output of the run — deterministic
+     per seed — so derive it from the report instead of fixing it up
+     front like the other benches. *)
+  let wall = ref infinity and ops = ref 0 in
+  for _ = 1 to 3 do
+    let t0 = now_s () in
+    let r = Scenario.run ~domains spec in
+    let t = now_s () -. t0 in
+    if t < !wall then wall := t;
+    ops := r.Scenario.completed
+  done;
+  { name; ops = !ops; wall_s = Float.max !wall 1e-9 }
+
 (* ------------------------------------------------------------------ *)
 (* JSON out / baseline in *)
 
@@ -299,7 +346,127 @@ let flag_value name argv =
   in
   scan (Array.to_list argv)
 
-let () =
+(* ------------------------------------------------------------------ *)
+(* --scenario: run one full-size scenario and report sustained req/s,
+   latency quantiles and availability.  All knobs have the
+   million-client defaults (100k clients over 1000 hosts); equal seeds
+   give byte-identical traces and report JSON at any --domains. *)
+
+let scenario_main kind =
+  let arrival =
+    match Scenario.arrival_of_name kind with
+    | Some a -> a
+    | None -> failwith "--scenario expects poisson, burst or diurnal"
+  in
+  let int_flag name dflt =
+    match flag_value name Sys.argv with
+    | None -> dflt
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> failwith (name ^ " expects an integer"))
+  in
+  let float_flag name dflt =
+    match flag_value name Sys.argv with
+    | None -> dflt
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> failwith (name ^ " expects a number"))
+  in
+  let d = Scenario.default in
+  let spec =
+    { Scenario.seed = int_flag "--seed" d.Scenario.seed;
+      lps = int_flag "--lps" d.Scenario.lps;
+      hosts = int_flag "--hosts" d.Scenario.hosts;
+      troupes = int_flag "--troupes" d.Scenario.troupes;
+      replicas = int_flag "--replicas" d.Scenario.replicas;
+      rm_partitions = int_flag "--rm-partitions" d.Scenario.rm_partitions;
+      rm_replicas = int_flag "--rm-replicas" d.Scenario.rm_replicas;
+      clients = int_flag "--clients" d.Scenario.clients;
+      think = float_flag "--think" d.Scenario.think;
+      frontends = int_flag "--frontends" d.Scenario.frontends;
+      pool = int_flag "--pool" d.Scenario.pool;
+      locality = float_flag "--locality" d.Scenario.locality;
+      payload = int_flag "--payload" d.Scenario.payload;
+      warmup = float_flag "--warmup" d.Scenario.warmup;
+      duration = float_flag "--duration" d.Scenario.duration;
+      arrival }
+  in
+  let domains = int_flag "--domains" 1 in
+  let chaos =
+    match flag_value "--chaos" Sys.argv with
+    | None -> None
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some v -> Some v
+      | None -> failwith "--chaos expects an integer seed")
+  in
+  let trace_path = flag_value "--trace-jsonl" Sys.argv in
+  let tracing = Option.is_some trace_path in
+  let trace_capacity = int_flag "--trace-cap" 65_536 in
+  Printf.printf
+    "circus scenario: %s arrivals, %d clients / %d hosts / %d troupes x %d, rm %dx%d, %d \
+     shards, domains %d%s\n\
+     offered ~%.0f req/s for %.1fs (after %.1fs warmup)\n\
+     %!"
+    kind spec.Scenario.clients spec.Scenario.hosts spec.Scenario.troupes
+    spec.Scenario.replicas spec.Scenario.rm_partitions spec.Scenario.rm_replicas
+    spec.Scenario.lps domains
+    (match chaos with Some s -> Printf.sprintf ", chaos seed %d" s | None -> "")
+    (Scenario.offered_rate spec) spec.Scenario.duration spec.Scenario.warmup;
+  let t0 = now_s () in
+  let r = Scenario.run ~domains ?chaos ~tracing ~trace_capacity spec in
+  let wall = now_s () -. t0 in
+  let ms v = 1e3 *. v in
+  Printf.printf "%-16s | %12s\n" "metric" "value";
+  Printf.printf "%-16s | %12d\n" "arrivals" r.Scenario.arrivals;
+  Printf.printf "%-16s | %12d\n" "completed" r.Scenario.completed;
+  Printf.printf "%-16s | %12d\n" "failed" r.Scenario.failed;
+  Printf.printf "%-16s | %12d\n" "unserved" r.Scenario.unserved;
+  Printf.printf "%-16s | %12.1f\n" "sustained req/s" r.Scenario.sustained_rps;
+  Printf.printf "%-16s | %12.4f\n" "availability" r.Scenario.availability;
+  Printf.printf "%-16s | %9.2f ms\n" "p50 latency" (ms r.Scenario.p50);
+  Printf.printf "%-16s | %9.2f ms\n" "p99 latency" (ms r.Scenario.p99);
+  Printf.printf "%-16s | %9.2f ms\n" "p999 latency" (ms r.Scenario.p999);
+  Printf.printf "%-16s | %9.2f ms\n" "mean latency" (ms r.Scenario.mean_latency);
+  Printf.printf "%-16s | %12d\n" "chaos steps" r.Scenario.chaos_steps;
+  Printf.printf "%-16s | %12d\n" "sim events" r.Scenario.events_executed;
+  Printf.printf "%-16s | %12d\n" "net datagrams" r.Scenario.net_sent;
+  Printf.printf "%-16s | %12.2f\n" "wall (s)" wall;
+  Printf.printf "%-16s | %12.0f\n" "sim events/s" (Float.of_int r.Scenario.events_executed /. wall);
+  (match trace_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (Export.jsonl_events r.Scenario.trace_events);
+    close_out oc;
+    Printf.printf "wrote %s (%d events, %d dropped)\n" path
+      (List.length r.Scenario.trace_events)
+      r.Scenario.trace_dropped);
+  (match flag_value "--report-json" Sys.argv with
+  | None -> ()
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (Scenario.report_json spec r);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  match flag_value "--summary" Sys.argv with
+  | None -> ()
+  | Some path ->
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    Printf.fprintf oc
+      "### Scenario (%s, %d clients / %d hosts, domains %d)\n\n\
+       | req/s | p50 | p99 | p999 | availability | wall |\n\
+       |---:|---:|---:|---:|---:|---:|\n\
+       | %.1f | %.2f ms | %.2f ms | %.2f ms | %.4f | %.2f s |\n\n"
+      kind spec.Scenario.clients spec.Scenario.hosts domains r.Scenario.sustained_rps
+      (ms r.Scenario.p50) (ms r.Scenario.p99) (ms r.Scenario.p999) r.Scenario.availability
+      wall;
+    close_out oc
+
+let main () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   let json_path = flag_value "--json" Sys.argv in
   let baseline_path = flag_value "--baseline" Sys.argv in
@@ -337,6 +504,13 @@ let () =
         [ 1; 2; 4 ]
     @ List.map (fun n -> bench_rpc ~iterations:(scale 300) ~n) [ 1; 2; 3; 4; 5 ]
     @ List.map (fun n -> bench_rpc_burst ~iterations:(scale 150) ~n) [ 1; 3 ]
+    @ List.concat_map
+        (fun d ->
+          if d <= max_domains then
+            [ bench_scenario ~arrival:Scenario.Poisson ~domains:d ~quick;
+              bench_scenario ~arrival:Scenario.Burst ~domains:d ~quick ]
+          else [])
+        [ 1; 2; 4 ]
   in
   Printf.printf "%-20s | %12s | %10s | %14s\n" "bench" "ops" "wall (s)" "rate (ops/s)";
   List.iter
@@ -413,3 +587,8 @@ let () =
       close_out oc);
     Printf.printf "\n%s\n" verdict;
     if failed then exit 1
+
+let () =
+  match flag_value "--scenario" Sys.argv with
+  | Some kind -> scenario_main kind
+  | None -> main ()

@@ -1,8 +1,12 @@
 (* Troupe availability planning (§6.4.2): Eq. 6.1 forward, Eq. 6.2
-   backward, and the birth-death state distribution. *)
+   backward, the birth-death state distribution — and a measured mode
+   that summarizes scenario latency samples through the shared
+   log-bucketed histogram in [Circus_trace.Metrics], so this tool and
+   the scenario report quote quantiles from one implementation. *)
 
 open Cmdliner
 module Analysis = Circus_analysis.Analysis
+module Metrics = Circus_trace.Metrics
 
 let forward n lifetime repair =
   let a = Analysis.availability ~n ~failure_rate:(1.0 /. lifetime) ~repair_rate:(1.0 /. repair) in
@@ -22,12 +26,44 @@ let backward n lifetime target =
     lifetime (100.0 *. target);
   Printf.printf "replace failed members within %.1f s on average (Eq. 6.2)\n" repair
 
-let run n lifetime repair target =
-  match (repair, target) with
-  | Some r, None ->
+(* Measured availability: latency samples (seconds, one per line) go
+   through the same Metrics histogram the scenario engine reports
+   from; [--failed] adds the denied requests to the denominator
+   (Eq. 6.1's "probability a call finds the troupe up", measured). *)
+let measured path failed =
+  let ms = Metrics.create () in
+  let ic = open_in path in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then
+         match float_of_string_opt line with
+         | Some v -> Metrics.observe ms "latency" v
+         | None -> failwith (Printf.sprintf "%s: not a number: %s" path line)
+     done
+   with End_of_file -> close_in ic);
+  match Metrics.histogram ms "latency" with
+  | None ->
+    prerr_endline "no samples";
+    1
+  | Some h ->
+    let q p =
+      match Metrics.quantile ms "latency" p with Some v -> 1e3 *. v | None -> nan
+    in
+    Printf.printf "samples: %d  (failed: %d)\n" h.Metrics.count failed;
+    Printf.printf "availability (measured): %.6f%%\n"
+      (100.0 *. Float.of_int h.Metrics.count /. Float.of_int (h.Metrics.count + failed));
+    Printf.printf "latency mean %.2f ms  p50 %.2f ms  p99 %.2f ms  p999 %.2f ms\n"
+      (1e3 *. h.Metrics.mean) (q 0.5) (q 0.99) (q 0.999);
+    0
+
+let run n lifetime repair target samples failed =
+  match (samples, repair, target) with
+  | Some path, None, None -> measured path failed
+  | None, Some r, None ->
     forward n lifetime r;
     0
-  | None, Some t ->
+  | None, None, Some t ->
     if t <= 0.0 || t >= 1.0 then begin
       prerr_endline "availability target must be strictly between 0 and 1";
       1
@@ -37,7 +73,8 @@ let run n lifetime repair target =
       0
     end
   | _ ->
-    prerr_endline "give exactly one of --repair (forward) or --target (backward)";
+    prerr_endline
+      "give exactly one of --repair (forward), --target (backward) or --samples (measured)";
     1
 
 let n = Arg.(value & opt int 3 & info [ "n"; "members" ] ~doc:"Troupe size.")
@@ -45,8 +82,20 @@ let lifetime = Arg.(value & opt float 3600.0 & info [ "lifetime" ] ~doc:"Mean me
 let repair = Arg.(value & opt (some float) None & info [ "repair" ] ~doc:"Mean replacement time, seconds.")
 let target = Arg.(value & opt (some float) None & info [ "target" ] ~doc:"Availability target in (0,1).")
 
+let samples =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "samples" ] ~doc:"File of latency samples in seconds, one per line (measured mode).")
+
+let failed =
+  Arg.(
+    value & opt int 0
+    & info [ "failed" ] ~doc:"Denied requests to count against measured availability.")
+
 let cmd =
   let doc = "troupe availability calculator (birth-death model, Figure 6.3)" in
-  Cmd.v (Cmd.info "availability" ~doc) Term.(const run $ n $ lifetime $ repair $ target)
+  Cmd.v (Cmd.info "availability" ~doc)
+    Term.(const run $ n $ lifetime $ repair $ target $ samples $ failed)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,35 +1,135 @@
 open Circus_net
 open Circus_rpc
 module Codec = Circus_wire.Codec
+module Fiber = Circus_sim.Fiber
 
 exception Unknown_service of string
+
+(* Key for the single-flight table: one entry per binding question in
+   flight, whether asked by name (lookup/rebind) or by id (resolve). *)
+type flight_key = By_name of string | By_id of Ids.Troupe_id.t
 
 type t = {
   rt : Runtime.t;
   ringmaster : Troupe.t;
   by_name : (string, Troupe.t) Hashtbl.t;
   by_id : (Ids.Troupe_id.t, Addr.t list) Hashtbl.t;
+  (* Round-robin cursor for single-member binding reads. *)
+  mutable read_rr : int;
+  (* Lookup gate.  A cold cache (or a reconfiguration noticed by a
+     whole worker pool at once) turns every caller into a Ringmaster
+     client simultaneously; unbounded, that dogpile queues the binding
+     troupe's hosts past the paired-message retransmit interval and
+     the storm feeds itself.  Two structural bounds defuse it:
+     identical in-flight questions are deduplicated ([inflight] —
+     one rm call, every waiter shares its answer), and distinct
+     questions pass through a small semaphore ([lookup_limit]) so a
+     cold cache ramps at bounded concurrency. *)
+  inflight : (flight_key, Troupe.t option Fiber.waker list ref) Hashtbl.t;
+  lookup_limit : int;
+  mutable lookup_active : int;
+  mutable lookup_q : unit Fiber.waker list;
 }
 
 let runtime t = t.rt
 let ringmaster t = t.ringmaster
 
-let ringmaster_call t ctx ~proc_no body =
-  Runtime.call_troupe ctx t.ringmaster ~proc_no body
+(* Registry replicas execute writes from *different* clients in
+   whatever order the datagrams land, so a call collated while two
+   writes are crossing can gather answers computed from different
+   intermediate states and raise [Collator.Disagreement].  The registry
+   state itself converges (member lists are kept sorted so changes
+   commute, and the id counter advances in lockstep at every replica),
+   which makes the disagreement a transient: re-asking after the
+   in-flight writes have landed yields agreeing answers.  Bounded
+   retries keep a genuine replica divergence detectable. *)
+let ringmaster_call ?multicast t ctx ~proc_no body =
+  let rec attempt retries delay =
+    match Runtime.call_troupe ctx t.ringmaster ~proc_no ?multicast body with
+    | answer -> answer
+    | exception Collator.Disagreement when retries > 0 ->
+      Fiber.sleep delay;
+      attempt (retries - 1) (2.0 *. delay)
+  in
+  attempt 3 0.05
+
+(* Binding reads are hints (§6.1): a stale answer is already masked by
+   troupe-id rejection plus rebind, so a read does not need the full
+   replicated call that makes every registry member execute it.
+   Asking one member — rotating through the troupe — divides the
+   partition's per-read CPU by the replication factor, which is what
+   lets binding read capacity scale with partitions instead of burning
+   every replica on every lookup.  A failed member (crashed, lagging,
+   rejecting) falls back to the replicated call, which masks
+   individual failures the usual way. *)
+let ringmaster_read t ctx ~proc_no body =
+  match t.ringmaster.Troupe.members with
+  | [] | [ _ ] -> ringmaster_call t ctx ~proc_no body
+  | members -> (
+    let n = List.length members in
+    let k = t.read_rr mod n in
+    t.read_rr <- (k + 1) mod n;
+    match Runtime.call_module ctx (List.nth members k) ~proc_no body with
+    | answer -> answer
+    | exception _ -> ringmaster_call t ctx ~proc_no body)
+
+let gate_acquire t =
+  if t.lookup_active < t.lookup_limit then t.lookup_active <- t.lookup_active + 1
+  else Fiber.suspend (fun wake -> t.lookup_q <- t.lookup_q @ [ wake ])
+
+let gate_release t =
+  match t.lookup_q with
+  | wake :: rest ->
+    (* Hand the permit straight to the next waiter; [lookup_active] is
+       unchanged. *)
+    t.lookup_q <- rest;
+    wake (Ok ())
+  | [] -> t.lookup_active <- t.lookup_active - 1
+
+(* Run [f] as the single flight for [key]: the first asker performs the
+   (gated) Ringmaster call, everyone arriving while it is in flight
+   waits and shares the same outcome — answer or exception. *)
+let single_flight t key f =
+  match Hashtbl.find_opt t.inflight key with
+  | Some waiters -> Fiber.suspend (fun wake -> waiters := wake :: !waiters)
+  | None ->
+    let waiters = ref [] in
+    Hashtbl.replace t.inflight key waiters;
+    let result =
+      match gate_acquire t with
+      | () -> (
+        match f () with
+        | answer ->
+          gate_release t;
+          Ok answer
+        | exception e ->
+          gate_release t;
+          Error e)
+      | exception e -> Error e
+    in
+    Hashtbl.remove t.inflight key;
+    List.iter (fun wake -> wake result) (List.rev !waiters);
+    (match result with Ok v -> v | Error e -> raise e)
 
 let cache_troupe t troupe =
   Hashtbl.replace t.by_id troupe.Troupe.id (Troupe.member_processes troupe)
 
-let lookup t ctx name =
-  let answer =
-    ringmaster_call t ctx ~proc_no:Ringmaster.proc_lookup_by_name
-      (Codec.encode Codec.string name)
-  in
+let cache_name_answer t name answer =
   match Codec.decode Ringmaster.troupe_opt answer with
   | Some troupe ->
     Hashtbl.replace t.by_name name troupe;
     cache_troupe t troupe;
-    troupe
+    Some troupe
+  | None -> None
+
+let lookup t ctx name =
+  match
+    single_flight t (By_name name) (fun () ->
+        cache_name_answer t name
+          (ringmaster_read t ctx ~proc_no:Ringmaster.proc_lookup_by_name
+             (Codec.encode Codec.string name)))
+  with
+  | Some troupe -> troupe
   | None -> raise (Unknown_service name)
 
 let import t ctx name =
@@ -38,26 +138,24 @@ let import t ctx name =
 let invalidate t name = Hashtbl.remove t.by_name name
 
 let rebind t ctx name =
-  let old_id =
-    match Hashtbl.find_opt t.by_name name with
-    | Some troupe -> troupe.Troupe.id
-    | None -> Ids.Troupe_id.none
-  in
-  Hashtbl.remove t.by_name name;
-  let answer =
-    ringmaster_call t ctx ~proc_no:Ringmaster.proc_rebind
-      (Codec.encode Ringmaster.rebind_args (name, old_id))
-  in
-  match Codec.decode Ringmaster.troupe_opt answer with
-  | Some troupe ->
-    Hashtbl.replace t.by_name name troupe;
-    cache_troupe t troupe;
-    troupe
+  match
+    single_flight t (By_name name) (fun () ->
+        let old_id =
+          match Hashtbl.find_opt t.by_name name with
+          | Some troupe -> troupe.Troupe.id
+          | None -> Ids.Troupe_id.none
+        in
+        Hashtbl.remove t.by_name name;
+        cache_name_answer t name
+          (ringmaster_read t ctx ~proc_no:Ringmaster.proc_rebind
+             (Codec.encode Ringmaster.rebind_args (name, old_id))))
+  with
+  | Some troupe -> troupe
   | None -> raise (Unknown_service name)
 
-let call t ctx ~service ~proc_no ?collator ?(retries = 3) body =
+let call t ctx ~service ~proc_no ?multicast ?collator ?(retries = 3) body =
   let rec attempt remaining troupe =
-    match Runtime.call_troupe ctx troupe ~proc_no ?collator body with
+    match Runtime.call_troupe ctx troupe ~proc_no ?multicast ?collator body with
     | result -> result
     | exception
         (( Runtime.Stale_binding _ | Circus_pairmsg.Endpoint.Rejected _
@@ -99,7 +197,20 @@ let remove_member t ctx ~name member =
 
 let enumerate t ctx =
   Codec.decode Ringmaster.listing
-    (ringmaster_call t ctx ~proc_no:Ringmaster.proc_enumerate Bytes.empty)
+    (ringmaster_read t ctx ~proc_no:Ringmaster.proc_enumerate Bytes.empty)
+
+(* Bulk cache warm: one enumerate call fills the whole name cache for
+   this client's registry, O(1) registry calls per client instead of
+   one lookup per name.  At fleet scale that is the difference between
+   front ends warming in a few calls and a cold-start lookup storm the
+   binding troupe cannot absorb.  Names registered after the snapshot
+   fall back to on-demand lookups. *)
+let warm t ctx =
+  List.iter
+    (fun (name, troupe) ->
+      Hashtbl.replace t.by_name name troupe;
+      cache_troupe t troupe)
+    (enumerate t ctx)
 
 let export_service t ctx ~name ~module_no =
   (* From now on, reconfiguration pushes for this module also rename our
@@ -117,29 +228,45 @@ let export_service t ctx ~name ~module_no =
   | None -> raise (Unknown_service name)
 
 (* Resolve a client troupe ID for the server half of the runtime: local
-   cache first, then a lookup at the Ringmaster (§4.3.2). *)
-let resolver t id =
-  if Ids.Troupe_id.equal id Ringmaster.ringmaster_troupe_id then
+   cache first, then a lookup at the Ringmaster (§4.3.2).  The
+   comparison is against this client's own registry troupe id, so the
+   same code serves any Ringmaster partition (ids 1..P). *)
+let resolve t id =
+  if Ids.Troupe_id.equal id t.ringmaster.Troupe.id then
     Some (Troupe.member_processes t.ringmaster)
   else
     match Hashtbl.find_opt t.by_id id with
     | Some members -> Some members
     | None -> (
-      let ctx = Runtime.detached_ctx t.rt in
       match
-        Runtime.call_troupe ctx t.ringmaster ~proc_no:Ringmaster.proc_lookup_by_id
-          ~collator:Collator.first_come
-          (Codec.encode Ids.Troupe_id.codec id)
+        single_flight t (By_id id) (fun () ->
+            let ctx = Runtime.detached_ctx t.rt in
+            let answer =
+              ringmaster_read t ctx ~proc_no:Ringmaster.proc_lookup_by_id
+                (Codec.encode Ids.Troupe_id.codec id)
+            in
+            match Codec.decode Ringmaster.troupe_opt answer with
+            | Some troupe ->
+              cache_troupe t troupe;
+              Some troupe
+            | None -> None)
       with
-      | answer -> (
-        match Codec.decode Ringmaster.troupe_opt answer with
-        | Some troupe ->
-          cache_troupe t troupe;
-          Some (Troupe.member_processes troupe)
-        | None -> None)
+      | Some troupe -> Some (Troupe.member_processes troupe)
+      | None -> None
       | exception _ -> None)
 
-let create rt ~ringmaster =
-  let t = { rt; ringmaster; by_name = Hashtbl.create 16; by_id = Hashtbl.create 16 } in
-  Runtime.set_resolver rt (resolver t);
+let create ?(lookup_limit = 1) rt ~ringmaster =
+  if lookup_limit < 1 then invalid_arg "Client.create: lookup_limit must be >= 1";
+  let t =
+    { rt;
+      ringmaster;
+      by_name = Hashtbl.create 16;
+      by_id = Hashtbl.create 16;
+      read_rr = 0;
+      inflight = Hashtbl.create 8;
+      lookup_limit;
+      lookup_active = 0;
+      lookup_q = [] }
+  in
+  Runtime.set_resolver rt (resolve t);
   t

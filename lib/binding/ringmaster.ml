@@ -5,6 +5,37 @@ module Codec = Circus_wire.Codec
 let ringmaster_port = 111
 let ringmaster_troupe_id = 1L
 
+(* Name-hash partitioning.  Partition [p]'s registry troupe identifies
+   itself with the reserved id [1 + p] (partition 0 is the legacy
+   single-partition Ringmaster, id 1), and mints troupe ids from
+   generator seed [7 + p], so the minting partition of any assigned id
+   can be read back from its high 32 bits.  Reserved ids stay clear of
+   minted ones: generators put their seed in the high word, and seeds
+   start at 7, so minted ids are >= 7 * 2^32. *)
+
+let id_seed_base = 7
+
+let partition_troupe_id p =
+  if p < 0 then invalid_arg "Ringmaster.partition_troupe_id: negative partition";
+  Int64.of_int (1 + p)
+
+(* FNV-1a, 64-bit.  Every client and every registry member must agree
+   on the partition of a name, so the hash is a fixed function of the
+   bytes — never [Hashtbl.hash], whose value is unspecified. *)
+let name_hash name =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    name;
+  !h
+
+let partition_of_name ~partitions name =
+  if partitions <= 0 then invalid_arg "Ringmaster.partition_of_name: partitions <= 0";
+  if partitions = 1 then 0
+  else Int64.to_int (Int64.unsigned_rem (name_hash name) (Int64.of_int partitions))
+
+let partition_of_id id = Int64.to_int (Int64.shift_right_logical id 32) - id_seed_base
+
 let proc_register_troupe = 0
 let proc_add_troupe_member = 1
 let proc_lookup_by_name = 2
@@ -19,16 +50,27 @@ let troupe_opt = Codec.option Troupe.codec
 let listing = Codec.list (Codec.pair Codec.string Troupe.codec)
 let rebind_args = Codec.pair Codec.string Ids.Troupe_id.codec
 
-let bootstrap_troupe ~hosts =
+let bootstrap_troupe ?(partition = 0) ~hosts () =
   let members =
     List.map (fun host -> Addr.module_addr (Addr.make ~host ~port:ringmaster_port) 0) hosts
   in
-  Troupe.make ~id:ringmaster_troupe_id ~members
+  Troupe.make ~id:(partition_troupe_id partition) ~members
 
 type registry = {
   table : (string, Troupe.t) Hashtbl.t;
   fresh_id : unit -> Ids.Troupe_id.t;
+  partition : int;
+  partitions : int;
 }
+
+(* A misrouted name means a client disagrees with the registry about
+   the partition map — registering it here would silently split the
+   namespace, so reject loudly instead. *)
+let check_owner registry name =
+  if
+    registry.partitions > 1
+    && partition_of_name ~partitions:registry.partitions name <> registry.partition
+  then raise Runtime.Bad_interface
 
 (* Push the new troupe ID to every member via the generated
    set_troupe_id procedure, as a subtransaction of the membership
@@ -101,35 +143,54 @@ let enumerate registry =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let dispatch registry ctx ~proc_no body =
-  if proc_no = proc_register_troupe then
+  if proc_no = proc_register_troupe then begin
     let name, troupe = Codec.decode register_args body in
+    check_owner registry name;
     Codec.encode Ids.Troupe_id.codec (register registry ctx name troupe)
-  else if proc_no = proc_add_troupe_member then
+  end
+  else if proc_no = proc_add_troupe_member then begin
     let name, member = Codec.decode member_args body in
+    check_owner registry name;
     Codec.encode troupe_opt (add_member registry ctx name member)
-  else if proc_no = proc_lookup_by_name then
-    Codec.encode troupe_opt (Hashtbl.find_opt registry.table (Codec.decode Codec.string body))
+  end
+  else if proc_no = proc_lookup_by_name then begin
+    let name = Codec.decode Codec.string body in
+    check_owner registry name;
+    Codec.encode troupe_opt (Hashtbl.find_opt registry.table name)
+  end
   else if proc_no = proc_lookup_by_id then
     Codec.encode troupe_opt (lookup_by_id registry (Codec.decode Ids.Troupe_id.codec body))
-  else if proc_no = proc_remove_troupe_member then
+  else if proc_no = proc_remove_troupe_member then begin
     let name, member = Codec.decode member_args body in
+    check_owner registry name;
     Codec.encode troupe_opt (remove_member registry ctx name member)
+  end
   else if proc_no = proc_enumerate then Codec.encode listing (enumerate registry)
   else if proc_no = proc_rebind then begin
     (* The old binding is only a hint (§6.1): answer with the current
        truth; stale ids need no explicit deletion because registration
        already replaced them. *)
     let name, _old_id = Codec.decode rebind_args body in
+    check_owner registry name;
     Codec.encode troupe_opt (Hashtbl.find_opt registry.table name)
   end
   else raise Runtime.Bad_interface
 
-let start_member env host =
-  let rt = Runtime.create env host ~port:ringmaster_port () in
-  Runtime.set_self_troupe rt ringmaster_troupe_id;
-  (* Seeded identically at every member: replicas of a deterministic
-     module mint identical id sequences. *)
-  let registry = { table = Hashtbl.create 32; fresh_id = Ids.Troupe_id.generator ~seed:7 } in
+let start_member ?(partition = 0) ?(partitions = 1) ?pairmsg_config env host =
+  if partition < 0 || partition >= partitions then
+    invalid_arg "Ringmaster.start_member: partition outside [0, partitions)";
+  let rt = Runtime.create env host ~port:ringmaster_port ?pairmsg_config () in
+  let self_id = partition_troupe_id partition in
+  Runtime.set_self_troupe rt self_id;
+  (* Seeded identically at every member of the partition: replicas of a
+     deterministic module mint identical id sequences, and distinct
+     partitions use distinct seeds so their id spaces never collide. *)
+  let registry =
+    { table = Hashtbl.create 32;
+      fresh_id = Ids.Troupe_id.generator ~seed:(id_seed_base + partition);
+      partition;
+      partitions }
+  in
   let module_no = Runtime.export rt (fun ctx ~proc_no body -> dispatch registry ctx ~proc_no body) in
-  Runtime.set_export_troupe rt ~module_no (Some ringmaster_troupe_id);
+  Runtime.set_export_troupe rt ~module_no (Some self_id);
   rt

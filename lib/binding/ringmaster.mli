@@ -22,17 +22,55 @@ val ringmaster_port : int
 (** The well-known port (111). *)
 
 val ringmaster_troupe_id : Ids.Troupe_id.t
-(** The reserved troupe ID (1) under which Ringmaster members identify
-    themselves. *)
+(** The reserved troupe ID (1) under which (single-partition)
+    Ringmaster members identify themselves. *)
 
-val bootstrap_troupe : hosts:Addr.host_id list -> Troupe.t
-(** The degenerate binding for the Ringmaster itself: module 0 at the
-    well-known port on each configured machine. *)
+(** {2 Name-hash partitioning}
 
-val start_member : Syscall.env -> Host.t -> Runtime.t
-(** Run a Ringmaster member on this host.  All members started across a
-    simulation mint the same deterministic sequence of troupe IDs, as
-    replicas of one deterministic module must. *)
+    One replicated registry troupe serializes every bind in the
+    system.  To scale binding with the deployment, the namespace can be
+    split into [P] independent partitions, each a full replicated
+    Ringmaster running the unchanged protocol — a name's partition is a
+    pure function of its bytes (FNV-1a mod [P]), so every client
+    routes each name to the same partition without any cross-partition
+    coordination, and a registry member rejects misrouted names.
+    Partition 0 with [partitions = 1] is exactly the legacy
+    single-troupe Ringmaster. *)
+
+val partition_troupe_id : int -> Ids.Troupe_id.t
+(** The reserved troupe ID ([1 + p]) under which partition [p]'s
+    members identify themselves.  [partition_troupe_id 0 =
+    ringmaster_troupe_id]. *)
+
+val name_hash : string -> int64
+(** FNV-1a (64-bit) over the name's bytes — a fixed function so all
+    parties agree, unlike [Hashtbl.hash]. *)
+
+val partition_of_name : partitions:int -> string -> int
+(** Which partition owns [name], in [[0, partitions)]. *)
+
+val partition_of_id : Ids.Troupe_id.t -> int
+(** The partition that minted an assigned troupe id (recovered from the
+    generator seed in the id's high 32 bits).  Meaningless for the
+    reserved ids [1..P] themselves. *)
+
+val bootstrap_troupe : ?partition:int -> hosts:Addr.host_id list -> unit -> Troupe.t
+(** The degenerate binding for a Ringmaster partition itself (default
+    partition 0): module 0 at the well-known port on each configured
+    machine. *)
+
+val start_member :
+  ?partition:int ->
+  ?partitions:int ->
+  ?pairmsg_config:Circus_pairmsg.Endpoint.config ->
+  Syscall.env ->
+  Host.t ->
+  Runtime.t
+(** Run a Ringmaster member of [partition] (default 0 of 1) on this
+    host.  All members of one partition started across a simulation
+    mint the same deterministic sequence of troupe IDs, as replicas of
+    one deterministic module must; distinct partitions mint from
+    disjoint id spaces. *)
 
 (** Procedure numbers of the binding interface (Figure 6.1):
     [register_troupe : (name, troupe) -> troupe_id],

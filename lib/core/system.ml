@@ -21,7 +21,7 @@ let create ?seed ?params ?syscall_costs ?(ringmasters = 2) () =
     List.init ringmasters (fun i -> Net.add_host net ~name:(Printf.sprintf "ringmaster%d" i) ())
   in
   List.iter (fun h -> ignore (Ringmaster.start_member env h)) hosts;
-  let ringmaster = Ringmaster.bootstrap_troupe ~hosts:(List.map Host.id hosts) in
+  let ringmaster = Ringmaster.bootstrap_troupe ~hosts:(List.map Host.id hosts) () in
   { engine; net; env; ringmaster }
 
 let engine t = t.engine

@@ -41,13 +41,23 @@ type env = {
      toggle exists so the equivalence tests can run both modes and
      compare traces byte for byte. *)
   mutable burst : bool;
+  (* Receive-side batching: when on, demux loops follow a successful
+     select with a [pending]-guarded drain, paying one select per
+     backlog instead of one per datagram.  Off by default — the drain
+     changes the charge sequence under load, and the measurement
+     benches pin the paper's one-select-per-datagram loop. *)
+  mutable recv_drain : bool;
 }
 
-let make net ?(costs = default_costs) () = { net; costs; burst = true }
+let make net ?(costs = default_costs) () =
+  { net; costs; burst = true; recv_drain = false }
+
 let net env = env.net
 let costs env = env.costs
 let set_burst env flag = env.burst <- flag
 let burst_charging env = env.burst
+let set_recv_drain env flag = env.recv_drain <- flag
+let recv_drain env = env.recv_drain
 
 let charge _env ?meter host ~name cost = Host.use_cpu host ?meter ~kind:(`Kernel name) cost
 
@@ -148,6 +158,13 @@ let recvmsg env ?meter ?timeout sock =
     charge env ?meter (Net.socket_host sock) ~name:"recvmsg" env.costs.recvmsg;
     Some dgram
   | None -> None
+
+(* FIONREAD: the receive-buffer depth the kernel already knows.  Free
+   of charge — the readiness information is the same thing the
+   just-returned [select]/[recvmsg] reported, and a demux loop uses it
+   to drain a backlog in one scheduling pass instead of paying a full
+   select round-trip per queued datagram. *)
+let pending sock = Mailbox.length (Net.mailbox sock)
 
 (* The blocking wait inside select, as a span on the host's track: the
    gap between a select's slice and its wake is idle time the paper's

@@ -49,6 +49,19 @@ val set_burst : env -> bool -> unit
 
 val burst_charging : env -> bool
 
+val set_recv_drain : env -> bool -> unit
+(** Enable receive-side batching: demux loops that honour this flag
+    follow a successful {!select} with a {!pending}-guarded drain,
+    paying one select (and one pass through the host's CPU queue) per
+    backlog instead of one per datagram.  Off by default — draining
+    changes the charge sequence whenever a second datagram is already
+    queued, and the Table-4.1 measurement benches pin the paper's
+    literal one-select-per-recvmsg loop.  The scenario engine turns it
+    on: at scale the per-datagram select round-trip is what tips a
+    loaded host into retransmit collapse. *)
+
+val recv_drain : env -> bool
+
 val charge_burst :
   env ->
   ?meter:Meter.t ->
@@ -120,6 +133,13 @@ val sendmsg_multicast_vec :
 val recvmsg : env -> ?meter:Meter.t -> ?timeout:float -> Net.socket -> Net.datagram option
 (** Blocking receive; [None] on timeout.  The kernel cost is charged
     only when a datagram is returned. *)
+
+val pending : Net.socket -> int
+(** Datagrams queued in the socket's receive buffer ([FIONREAD]).
+    Uncharged: it reports the same readiness the preceding {!select} or
+    {!recvmsg} established.  Receive loops use it to drain a backlog
+    without a select round-trip per datagram — under load, one pass
+    through the host's CPU queue per batch instead of per message. *)
 
 val select : env -> ?meter:Meter.t -> ?timeout:float -> Net.socket list -> bool
 (** Block until any socket is readable ([true]) or the timeout expires

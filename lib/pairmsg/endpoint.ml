@@ -16,6 +16,7 @@ let msg_type_str = function
 type config = {
   retransmit_interval : float;
   max_retransmits : int;
+  retransmit_backoff : float;
   probe_interval : float;
   crash_timeout : float;
   user_cost_per_call : float;
@@ -25,6 +26,7 @@ type config = {
 let default_config =
   { retransmit_interval = 0.1;
     max_retransmits = 10;
+    retransmit_backoff = 1.0;
     probe_interval = 0.5;
     crash_timeout = 2.0;
     user_cost_per_call = 3.0e-3;
@@ -159,10 +161,25 @@ let send_ack t ~dst ~msg_type ~total ~ack_no ~call_no =
    machinery are gone.  [inc] pins the chain to the incarnation that
    started it: a chain that outlives a crash (engine timers are not
    host state) goes quiet instead of resending from the dead. *)
+(* Retransmit delay for the exchange's current attempt count.  The
+   default [retransmit_backoff = 1.0] is the paper's fixed interval;
+   a factor > 1 grows the delay geometrically per unacknowledged
+   attempt (capped at the probing cadence), so a congested receiver
+   sees the duplicate load shrink instead of compound — without
+   backoff, retransmissions of queued-but-undelivered messages feed
+   the very overload that delays their acks.  Progress (a newly acked
+   segment) resets the attempt count and with it the delay. *)
+let retransmit_delay t out =
+  let d =
+    t.config.retransmit_interval
+    *. (t.config.retransmit_backoff ** Float.of_int out.o_attempts)
+  in
+  Float.min d t.config.probe_interval
+
 let rec retransmit_arm t out ~inc =
   Syscall.setitimer t.env ~meter:t.meter t.host;
   ignore
-    (Engine.schedule t.engine ~delay:t.config.retransmit_interval (fun () ->
+    (Engine.schedule t.engine ~delay:(retransmit_delay t out) (fun () ->
          Host.run_pooled t.host ~label:"pairmsg.retransmit" (fun () ->
              if Host.incarnation t.host = inc then retransmit_tick t out ~inc)))
 
@@ -628,17 +645,35 @@ let handle_segment t ~src seg =
   | Segment.Call | Segment.Return ->
     if seg.Segment.ack then handle_ack t ~src seg else handle_data t ~src seg
 
+(* When the env enables receive-side batching ([Syscall.recv_drain]),
+   the loop pays one [select] per batch, not per datagram: after a wake
+   it drains every datagram the receive buffer holds ([Syscall.pending],
+   FIONREAD) before blocking again.  Under a backlog that is what keeps
+   the endpoint live — each pass through the host's CPU queue retires
+   the whole backlog, where the per-datagram loop pays a full select
+   round-trip through that same queue per message and falls ever
+   further behind its own retransmitting peers.  With the flag off (the
+   default) this is the paper's literal select/recvmsg loop, which the
+   Table-4.1 measurement benches pin charge for charge. *)
 let demux_loop t () =
   let socks = [ t.sock ] in
   while not t.closed do
     if Syscall.select t.env ~meter:t.meter socks then begin
-      match Syscall.recvmsg t.env ~meter:t.meter t.sock with
-      | None -> ()
-      | Some dgram -> (
-        Syscall.sigblock t.env ~meter:t.meter t.host;
-        match Segment.decode dgram.Net.payload with
-        | None -> ()  (* garbled: treated as lost *)
-        | Some seg -> handle_segment t ~src:dgram.Net.src seg)
+      let rec drain () =
+        (match Syscall.recvmsg t.env ~meter:t.meter t.sock with
+        | None -> ()
+        | Some dgram -> (
+          Syscall.sigblock t.env ~meter:t.meter t.host;
+          match Segment.decode dgram.Net.payload with
+          | None -> ()  (* garbled: treated as lost *)
+          | Some seg -> handle_segment t ~src:dgram.Net.src seg));
+        if
+          (not t.closed)
+          && Syscall.recv_drain t.env
+          && Syscall.pending t.sock > 0
+        then drain ()
+      in
+      drain ()
     end
   done
 

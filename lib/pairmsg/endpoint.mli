@@ -36,6 +36,12 @@ exception Rejected of Addr.t
 type config = {
   retransmit_interval : float;
   max_retransmits : int;  (** give up (crash suspected) after this many *)
+  retransmit_backoff : float;
+      (** geometric growth of the retransmit delay per unacknowledged
+          attempt, capped at [probe_interval]; 1.0 (the default) is the
+          paper's fixed interval.  Congested deployments set it > 1 so
+          duplicate traffic decays instead of compounding the overload
+          that is delaying the acks. *)
   probe_interval : float;  (** probe period while awaiting a return *)
   crash_timeout : float;  (** declare crash after this much silence *)
   user_cost_per_call : float;  (** user-mode CPU per exchange *)

@@ -26,7 +26,7 @@ let make_world ?(ringmasters = 2) ?seed () =
     List.init ringmasters (fun i -> Net.add_host net ~name:(Printf.sprintf "rm%d" i) ())
   in
   List.iter (fun h -> ignore (Ringmaster.start_member env h)) hosts;
-  let ringmaster = Ringmaster.bootstrap_troupe ~hosts:(List.map Host.id hosts) in
+  let ringmaster = Ringmaster.bootstrap_troupe ~hosts:(List.map Host.id hosts) () in
   { engine; net; env; ringmaster }
 
 (* A counter service member: proc 0 increments and returns the value,

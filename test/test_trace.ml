@@ -87,6 +87,66 @@ let test_metrics_histogram () =
     Alcotest.(check (float 1e-9)) "max" 3.0 h.Metrics.max;
     Alcotest.(check (float 1e-9)) "mean" 2.0 h.Metrics.mean
 
+let test_metrics_quantile_exact () =
+  let m = Metrics.create () in
+  (* Below the exact-sample cap: nearest-rank over raw samples. *)
+  List.iter (Metrics.observe m "lat") [ 0.9; 0.1; 0.5; 0.3; 0.7 ];
+  let q p = Option.get (Metrics.quantile m "lat" p) in
+  Alcotest.(check (float 1e-9)) "p0" 0.1 (q 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 0.5 (q 0.5);
+  Alcotest.(check (float 1e-9)) "p100" 0.9 (q 1.0);
+  Alcotest.(check bool) "missing" true (Metrics.quantile m "zzz" 0.5 = None);
+  Alcotest.check_raises "bad q" (Invalid_argument "Metrics.quantile: q outside [0, 1]")
+    (fun () -> ignore (Metrics.quantile m "lat" 1.5))
+
+let test_metrics_quantile_bucketed () =
+  let m = Metrics.create () in
+  (* Push past the exact-sample cap so quantiles come from the log
+     buckets; the bucket error bound is < 1/16 relative. *)
+  for i = 1 to 2000 do
+    Metrics.observe m "lat" (1e-3 *. Float.of_int i)
+  done;
+  let check p expect =
+    let v = Option.get (Metrics.quantile m "lat" p) in
+    let err = Float.abs (v -. expect) /. expect in
+    if err > 1.0 /. 16.0 then
+      Alcotest.failf "q%.3f: %.6f vs expected %.6f (err %.3f)" p v expect err
+  in
+  check 0.5 1.0;
+  check 0.99 1.98;
+  check 0.999 1.998
+
+let test_metrics_merge () =
+  let shard vals counters =
+    let m = Metrics.create () in
+    List.iter (Metrics.observe m "lat") vals;
+    List.iter (fun (n, k) -> Metrics.incr ~by:k m n) counters;
+    m
+  in
+  let a () = shard [ 0.1; 0.4 ] [ ("ok", 2) ] in
+  let b () = shard [ 0.2; 0.8 ] [ ("ok", 3); ("err", 1) ] in
+  let into = a () in
+  Metrics.merge ~into (b ());
+  Alcotest.(check int) "counters add" 5 (Metrics.counter into "ok");
+  Alcotest.(check int) "new counter" 1 (Metrics.counter into "err");
+  (match Metrics.histogram into "lat" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 4 h.Metrics.count;
+    Alcotest.(check (float 1e-9)) "min" 0.1 h.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max" 0.8 h.Metrics.max);
+  (* Nearest rank over the merged [0.1; 0.2; 0.4; 0.8]: rank ceil(0.5 * 4) = 2. *)
+  Alcotest.(check (float 1e-9)) "exact quantile after merge" 0.2
+    (Option.get (Metrics.quantile into "lat" 0.5));
+  Alcotest.(check (float 1e-9)) "exact p75 after merge" 0.4
+    (Option.get (Metrics.quantile into "lat" 0.75));
+  (* Merging per-shard registries in a fixed order is deterministic. *)
+  let m1 = a () in
+  Metrics.merge ~into:m1 (b ());
+  let m2 = a () in
+  Metrics.merge ~into:m2 (b ());
+  Alcotest.(check string) "deterministic" (Metrics.to_json m1) (Metrics.to_json m2)
+
 let test_metrics_json_deterministic () =
   let build order =
     let m = Metrics.create () in
@@ -343,6 +403,9 @@ let () =
       ( "metrics",
         [ Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "quantile exact" `Quick test_metrics_quantile_exact;
+          Alcotest.test_case "quantile bucketed" `Quick test_metrics_quantile_bucketed;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
           Alcotest.test_case "json deterministic" `Quick test_metrics_json_deterministic ] );
       ( "recorder",
         [ Alcotest.test_case "disabled is silent" `Quick test_disabled_is_silent;
