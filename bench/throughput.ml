@@ -23,6 +23,10 @@
                      prefixes has no baseline entry (guards the
                      rpc_calls_n* and engine_parallel_d* rows against
                      silent renames/drops)
+   --max-regress-for PREFIX:PCT[,...]  per-prefix gate overrides (the
+                     trace_overhead_* retention rows are dimensionless
+                     and get a tight gate; wall-clock rows keep the
+                     loose one)
    --domains N       cap the engine_parallel_d* rows at N domains
                      (default 4: rows for d = 1, 2, 4)
    --summary PATH    with --baseline, append the comparison as a
@@ -231,6 +235,54 @@ let bench_rpc_burst ~iterations ~n =
     ~ops:iterations
     (fun () -> ignore (Workloads.circus_row ~iterations ~n ~payload:11_520 ()))
 
+(* Causal-tracing overhead on the hot replicated-call path, reported
+   as a machine-portable *retention ratio*: rate = 1000 x (wall with
+   causal off / wall with causal on), so ~1000 means free and 950
+   means 5% overhead.  Being dimensionless, the row compares cleanly
+   across runner generations, which is what lets CI gate it at a tight
+   percentage while the absolute-rate rows keep their loose gate. *)
+
+module Trace = Circus_trace.Trace
+module Causal = Circus_trace.Causal
+
+let bench_trace_overhead ~iterations ~n =
+  let timed ~causal =
+    if causal then begin
+      (* A quiet, category-filtered sink: causal events are recorded
+         while the firehose instrumentation stays asleep ([Trace.on]
+         reports false) — the configuration the scenario's
+         attribution mode runs. *)
+      ignore (Trace.start ~cats:[ Causal.cat ] ~quiet:true ~clock:(fun () -> 0.0) ());
+      Causal.set_enabled true;
+      Causal.reset ()
+    end;
+    Gc.full_major ();
+    let t0 = now_s () in
+    ignore (Workloads.circus_row ~iterations ~n ());
+    let t = now_s () -. t0 in
+    if causal then begin
+      Causal.set_enabled false;
+      Trace.stop ()
+    end;
+    t
+  in
+  (* The two walls of one back-to-back pair see the same machine
+     phase (frequency, cache pressure, neighbours on a shared
+     runner), so their quotient is far stabler than a quotient of
+     independently-taken minima; the median over pairs then discards
+     the odd GC-straddled outlier.  One untimed warmup pair first. *)
+  ignore (timed ~causal:false);
+  ignore (timed ~causal:true);
+  let ratios =
+    List.init 5 (fun _ ->
+        let off = timed ~causal:false in
+        let on = timed ~causal:true in
+        on /. Float.max off 1e-9)
+  in
+  let sorted = List.sort Float.compare ratios in
+  let median = List.nth sorted (List.length sorted / 2) in
+  { name = Printf.sprintf "trace_overhead_n%d" n; ops = 1000; wall_s = Float.max median 1e-9 }
+
 (* Scenario engine: a reduced sharded world (64 hosts, 12 replicated
    troupes, 2x2 partitioned Ringmaster, 8 shards) under open-loop
    traffic, measured end to end — world construction, registration,
@@ -403,8 +455,11 @@ let scenario_main kind =
       | None -> failwith "--chaos expects an integer seed")
   in
   let trace_path = flag_value "--trace-jsonl" Sys.argv in
-  let tracing = Option.is_some trace_path in
+  let chrome_path = flag_value "--trace-chrome" Sys.argv in
+  let tracing = Option.is_some trace_path || Option.is_some chrome_path in
   let trace_capacity = int_flag "--trace-cap" 65_536 in
+  let causal = not (Array.exists (( = ) "--no-causal") Sys.argv) in
+  let explain = int_flag "--explain" 0 in
   Printf.printf
     "circus scenario: %s arrivals, %d clients / %d hosts / %d troupes x %d, rm %dx%d, %d \
      shards, domains %d%s\n\
@@ -416,7 +471,7 @@ let scenario_main kind =
     (match chaos with Some s -> Printf.sprintf ", chaos seed %d" s | None -> "")
     (Scenario.offered_rate spec) spec.Scenario.duration spec.Scenario.warmup;
   let t0 = now_s () in
-  let r = Scenario.run ~domains ?chaos ~tracing ~trace_capacity spec in
+  let r = Scenario.run ~domains ?chaos ~tracing ~trace_capacity ~causal spec in
   let wall = now_s () -. t0 in
   let ms v = 1e3 *. v in
   Printf.printf "%-16s | %12s\n" "metric" "value";
@@ -435,15 +490,48 @@ let scenario_main kind =
   Printf.printf "%-16s | %12d\n" "net datagrams" r.Scenario.net_sent;
   Printf.printf "%-16s | %12.2f\n" "wall (s)" wall;
   Printf.printf "%-16s | %12.0f\n" "sim events/s" (Float.of_int r.Scenario.events_executed /. wall);
+  (match r.Scenario.causal with
+  | None -> ()
+  | Some a ->
+    Printf.printf "\ncritical-path attribution (%d requests, %d incomplete chains, %d dropped events)\n"
+      (List.length a.Causal.paths) a.Causal.incomplete r.Scenario.trace_dropped;
+    Printf.printf "%-16s | %13s | %10s | %10s\n" "stage" "p50 comp (ms)" "p50 (ms)" "p99 (ms)";
+    let comps = Causal.stage_components a 0.5 in
+    Array.iteri
+      (fun i st ->
+        Printf.printf "%-16s | %13.3f | %10.3f | %10.3f\n" st (ms comps.(i))
+          (ms (Causal.stage_quantile a ~stage:i 0.5))
+          (ms (Causal.stage_quantile a ~stage:i 0.99)))
+      Causal.stage_names;
+    Printf.printf "%-16s | %13.3f | %10.3f | %10.3f   (component sum vs p50: %+.1f%%)\n"
+      "end-to-end"
+      (ms (Array.fold_left ( +. ) 0.0 comps))
+      (ms (Causal.total_quantile a 0.5))
+      (ms (Causal.total_quantile a 0.99))
+      (let p50 = Causal.total_quantile a 0.5 in
+       if p50 > 0.0 then 100.0 *. ((Array.fold_left ( +. ) 0.0 comps /. p50) -. 1.0) else 0.0);
+    if explain > 0 then begin
+      Printf.printf "\nslowest %d requests, stage waterfalls:\n" explain;
+      print_string (Causal.waterfall ~top:explain a)
+    end);
   (match trace_path with
   | None -> ()
   | Some path ->
     let oc = open_out_bin path in
-    output_string oc (Export.jsonl_events r.Scenario.trace_events);
+    output_string oc
+      (Export.jsonl_events ~dropped:r.Scenario.trace_dropped r.Scenario.trace_events);
     close_out oc;
     Printf.printf "wrote %s (%d events, %d dropped)\n" path
       (List.length r.Scenario.trace_events)
       r.Scenario.trace_dropped);
+  (match chrome_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc
+      (Export.chrome_events ~dropped:r.Scenario.trace_dropped r.Scenario.trace_events);
+    close_out oc;
+    Printf.printf "wrote %s (Perfetto: ui.perfetto.dev)\n" path);
   (match flag_value "--report-json" Sys.argv with
   | None -> ()
   | Some path ->
@@ -478,6 +566,35 @@ let main () =
       | None -> failwith "--max-regress expects a number (percent)")
     | None -> 30.0
   in
+  (* Per-prefix gate overrides, e.g. --max-regress-for trace_overhead_:5
+     pins the dimensionless overhead row to a tight gate while the
+     wall-clock rows keep the loose runner-noise one. *)
+  let per_prefix_gates =
+    match flag_value "--max-regress-for" Sys.argv with
+    | None -> []
+    | Some s ->
+      List.map
+        (fun item ->
+          match String.index_opt item ':' with
+          | Some i -> (
+            let prefix = String.sub item 0 i in
+            match
+              float_of_string_opt (String.sub item (i + 1) (String.length item - i - 1))
+            with
+            | Some pct -> (prefix, pct)
+            | None -> failwith "--max-regress-for expects PREFIX:PCT[,PREFIX:PCT...]")
+          | None -> failwith "--max-regress-for expects PREFIX:PCT[,PREFIX:PCT...]")
+        (String.split_on_char ',' s)
+  in
+  let starts_with prefix name =
+    String.length name >= String.length prefix
+    && String.sub name 0 (String.length prefix) = prefix
+  in
+  let gate_for name =
+    match List.find_opt (fun (p, _) -> starts_with p name) per_prefix_gates with
+    | Some (_, pct) -> pct
+    | None -> max_regress
+  in
   let max_domains =
     match flag_value "--domains" Sys.argv with
     | Some s -> (
@@ -504,6 +621,10 @@ let main () =
         [ 1; 2; 4 ]
     @ List.map (fun n -> bench_rpc ~iterations:(scale 300) ~n) [ 1; 2; 3; 4; 5 ]
     @ List.map (fun n -> bench_rpc_burst ~iterations:(scale 150) ~n) [ 1; 3 ]
+    (* More iterations than the rpc rows: the row is a ratio of two
+       walls, and at 300 calls the ~3 ms sides leave the quotient too
+       noisy for its tight CI gate. *)
+    @ [ bench_trace_overhead ~iterations:(scale 3000) ~n:1 ]
     @ List.concat_map
         (fun d ->
           if d <= max_domains then
@@ -542,15 +663,13 @@ let main () =
       "| bench | baseline (ops/s) | now (ops/s) | change |\n|---|---:|---:|---:|\n";
     let worst = ref 0.0 in
     let missing_required = ref [] in
+    let violations = ref [] in
     List.iter
       (fun r ->
         let is_required =
           match required with
           | Some prefixes ->
-            List.exists
-              (fun prefix ->
-                String.length r.name >= String.length prefix
-                && String.sub r.name 0 (String.length prefix) = prefix)
+            List.exists (fun prefix -> starts_with prefix r.name)
               (String.split_on_char ',' prefixes)
           | None -> false
         in
@@ -564,18 +683,25 @@ let main () =
         | Some b ->
           let change = 100.0 *. ((rate r /. b) -. 1.0) in
           if -.change > !worst then worst := -.change;
+          if -.change > gate_for r.name then
+            violations := (r.name, -.change, gate_for r.name) :: !violations;
           Printf.printf "%-20s | %14.0f | %14.0f | %+8.1f%%\n" r.name b (rate r) change;
           Buffer.add_string summary
             (Printf.sprintf "| %s | %.0f | %.0f | %+.1f%% |\n" r.name b (rate r) change))
       results;
-    let failed = !worst > max_regress || !missing_required <> [] in
+    let failed = !violations <> [] || !missing_required <> [] in
     let verdict =
       if !missing_required <> [] then
         Printf.sprintf "FAIL: required rows missing from baseline: %s"
           (String.concat ", " (List.rev !missing_required))
       else if failed then
-        Printf.sprintf "FAIL: worst regression %.1f%% exceeds %.1f%%" !worst max_regress
-      else Printf.sprintf "OK: worst regression %.1f%% within %.1f%%" !worst max_regress
+        Printf.sprintf "FAIL: %s"
+          (String.concat "; "
+             (List.rev_map
+                (fun (name, drop, gate) ->
+                  Printf.sprintf "%s fell %.1f%% (gate %.1f%%)" name drop gate)
+                !violations))
+      else Printf.sprintf "OK: worst regression %.1f%% within the gates" !worst
     in
     Buffer.add_string summary (Printf.sprintf "\n**%s**\n" verdict);
     (match summary_path with

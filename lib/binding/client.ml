@@ -2,6 +2,7 @@ open Circus_net
 open Circus_rpc
 module Codec = Circus_wire.Codec
 module Fiber = Circus_sim.Fiber
+module Causal = Circus_trace.Causal
 
 exception Unknown_service of string
 
@@ -122,14 +123,25 @@ let cache_name_answer t name answer =
     Some troupe
   | None -> None
 
+(* Each asker's own chain gets the lookup bracket — cache hits in
+   [import] skip it entirely, so the "lookup" attribution stage counts
+   only time actually spent asking (or queueing behind) the
+   Ringmaster. *)
+let causal_step t name =
+  if Causal.on () then
+    ignore (Causal.step ~host:(Host.id (Runtime.host t.rt)) name)
+
 let lookup t ctx name =
+  causal_step t "lookup";
   match
     single_flight t (By_name name) (fun () ->
         cache_name_answer t name
           (ringmaster_read t ctx ~proc_no:Ringmaster.proc_lookup_by_name
              (Codec.encode Codec.string name)))
   with
-  | Some troupe -> troupe
+  | Some troupe ->
+    causal_step t "lookup_done";
+    troupe
   | None -> raise (Unknown_service name)
 
 let import t ctx name =
@@ -138,6 +150,7 @@ let import t ctx name =
 let invalidate t name = Hashtbl.remove t.by_name name
 
 let rebind t ctx name =
+  causal_step t "lookup";
   match
     single_flight t (By_name name) (fun () ->
         let old_id =
@@ -150,7 +163,9 @@ let rebind t ctx name =
           (ringmaster_read t ctx ~proc_no:Ringmaster.proc_rebind
              (Codec.encode Ringmaster.rebind_args (name, old_id))))
   with
-  | Some troupe -> troupe
+  | Some troupe ->
+    causal_step t "lookup_done";
+    troupe
   | None -> raise (Unknown_service name)
 
 let call t ctx ~service ~proc_no ?multicast ?collator ?(retries = 3) body =

@@ -46,7 +46,7 @@ val now : t -> float
 
 (** {1 Tracing} *)
 
-val enable_tracing : ?capacity:int -> t -> unit
+val enable_tracing : ?capacity:int -> ?cats:string list -> ?quiet:bool -> t -> unit
 val with_lp : t -> int -> (unit -> 'a) -> 'a
 val merged_events : t -> Circus_trace.Event.t list
 val merged_dropped : t -> int

@@ -1,6 +1,7 @@
 open Circus_sim
 module Trace = Circus_trace.Trace
 module Tev = Circus_trace.Event
+module Causal = Circus_trace.Causal
 
 type params = {
   propagation : float;
@@ -22,7 +23,11 @@ let default_params =
 let lan ?(loss = 0.0) ?(duplication = 0.0) ?(jitter_mean = default_params.jitter_mean) () =
   { default_params with loss; duplication; jitter_mean }
 
-type datagram = { src : Addr.t; dst : Addr.t; payload : bytes }
+(* [ctx] is out-of-band causal metadata (a [Circus_trace.Causal.ctx]):
+   it rides the in-flight datagram but contributes zero wire bytes —
+   [payload] alone sizes every charge, MTU check, and transit delay —
+   so byte-pinned goldens are unaffected.  0 = no context. *)
+type datagram = { src : Addr.t; dst : Addr.t; payload : bytes; ctx : int }
 
 type socket = {
   addr : Addr.t;
@@ -328,6 +333,21 @@ let deliver_now t dgram =
     when (not sock.closed) && Host.is_alive sock.owner && Addr.equal sock.addr dgram.dst ->
     t.stats.delivered <- t.stats.delivered + 1;
     trace_dgram t "deliver" ~dgram ~reason:None;
+    (* Advance the causal chain onto the receiving host.  Each copy
+       gets its own "recv" span (parented on the sender's "xmit"), on
+       a fresh record so duplicated copies don't chain through each
+       other.  The ambient context is left alone: delivery runs in an
+       engine callback, possibly inline on an unrelated fiber's
+       stack. *)
+    let dgram =
+      if Causal.on () && dgram.ctx <> Causal.none then
+        match
+          Causal.step ~parent:dgram.ctx ~set_ambient:false ~host:dgram.dst.Addr.host "recv"
+        with
+        | c when c <> Causal.none -> { dgram with ctx = c }
+        | _ -> dgram
+      else dgram
+    in
     Mailbox.send sock.mailbox dgram
   | Some _ | None ->
     t.stats.dropped <- t.stats.dropped + 1;
@@ -416,6 +436,17 @@ let corrupt_copy t (dgram : datagram) =
   trace_dgram t "corrupt" ~dgram ~reason:(Some "checksum")
 
 let send_one t dgram =
+  (* Stamp the sender's causal context (one "xmit" span per
+     transmission attempt — losses then show up as a missing "recv").
+     Runs on the sending fiber, so the ambient context is the
+     request being served. *)
+  let dgram =
+    if Causal.on () then
+      match Causal.step ~host:dgram.src.Addr.host "xmit" with
+      | c when c <> Causal.none -> { dgram with ctx = c }
+      | _ -> dgram
+    else dgram
+  in
   let len = Bytes.length dgram.payload in
   trace_dgram t "send" ~dgram ~reason:None;
   if not (reachable t dgram.src.Addr.host dgram.dst.Addr.host) then begin
@@ -463,10 +494,10 @@ let send t ~src ~dst payload =
   check_mtu t payload;
   t.stats.sent <- t.stats.sent + 1;
   t.stats.bytes_sent <- t.stats.bytes_sent + Bytes.length payload;
-  send_one t { src; dst; payload }
+  send_one t { src; dst; payload; ctx = Causal.none }
 
 let send_multicast t ~src ~dsts payload =
   check_mtu t payload;
   t.stats.sent <- t.stats.sent + 1;
   t.stats.bytes_sent <- t.stats.bytes_sent + Bytes.length payload;
-  List.iter (fun dst -> send_one t { src; dst; payload }) dsts
+  List.iter (fun dst -> send_one t { src; dst; payload; ctx = Causal.none }) dsts

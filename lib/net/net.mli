@@ -26,7 +26,15 @@ val default_params : params
 
 val lan : ?loss:float -> ?duplication:float -> ?jitter_mean:float -> unit -> params
 
-type datagram = { src : Addr.t; dst : Addr.t; payload : bytes }
+type datagram = {
+  src : Addr.t;
+  dst : Addr.t;
+  payload : bytes;
+  ctx : int;
+      (** out-of-band causal context ({!Circus_trace.Causal.ctx});
+          zero wire bytes — only [payload] is charged, delayed, or
+          MTU-checked.  0 when causal tracing is off. *)
+}
 
 type socket
 (** A bound UDP-style endpoint. *)

@@ -2,6 +2,7 @@ open Circus_sim
 open Circus_net
 module Trace = Circus_trace.Trace
 module Tev = Circus_trace.Event
+module Causal = Circus_trace.Causal
 
 exception Crashed of Addr.t
 exception Rejected of Addr.t
@@ -45,6 +46,11 @@ type outgoing = {
      the give-up counter was last reset. *)
   mutable o_attempts : int;
   mutable o_acked_mark : int;
+  (* Causal context of the request this message serves, captured when
+     the message was started.  Retransmit and watchdog ticks run from
+     pooled tasks with no ambient context of their own; they restore
+     this one so resends and probes stay on the request's chain. *)
+  o_ctx : int;
 }
 
 type incoming = {
@@ -56,7 +62,7 @@ type incoming = {
   mutable i_body : bytes;  (* valid once complete *)
 }
 
-type reply = { from : Addr.t; result : (bytes, exn) result }
+type reply = { from : Addr.t; result : (bytes, exn) result; reply_ctx : int }
 
 type exchange = {
   x_dst : Addr.t;
@@ -184,6 +190,7 @@ let rec retransmit_arm t out ~inc =
              if Host.incarnation t.host = inc then retransmit_tick t out ~inc)))
 
 and retransmit_tick t out ~inc =
+  if Causal.on () then Causal.set_current out.o_ctx;
   if out.o_done || out.o_failed then
     Syscall.setitimer t.env ~meter:t.meter t.host (* disarm *)
   else begin
@@ -207,6 +214,11 @@ and retransmit_tick t out ~inc =
       let next = out.o_acked + 1 in
       if next <= Array.length out.o_segments then begin
         if Trace.on () then Trace.incr "pairmsg.retransmits";
+        (* The retransmit stall joins the causal chain here: the resent
+           segment's "xmit" parents on this "rexmit", which parents on
+           the context the message started from. *)
+        if Causal.on () && out.o_ctx <> Causal.none then
+          ignore (Causal.step ~host:(Host.id t.host) "rexmit");
         send_segment t ~dst:out.o_dst
           (Segment.data_segment ~msg_type:out.o_type ~please_ack:true
              ~total:(Array.length out.o_segments) ~seg_no:next ~call_no:out.o_call_no
@@ -235,7 +247,8 @@ let start_outgoing t ?(defer_retransmit = false) ~dst ~msg_type ~call_no body ~s
   let segments = Segment.split_message ~mtu:(seg_size t + Segment.header_size) body in
   let out =
     { o_dst = dst; o_type = msg_type; o_call_no = call_no; o_segments = segments;
-      o_acked = 0; o_done = false; o_failed = false; o_attempts = 0; o_acked_mark = 0 }
+      o_acked = 0; o_done = false; o_failed = false; o_attempts = 0; o_acked_mark = 0;
+      o_ctx = (if Causal.on () then Causal.current () else Causal.none) }
   in
   Itab.replace t.outgoing (msg_key dst msg_type call_no) out;
   if send_burst then begin
@@ -325,6 +338,7 @@ let rec watchdog_arm t x ~inc =
                if Host.incarnation t.host = inc then watchdog_tick t x ~inc)))
 
 and watchdog_tick t x ~inc =
+  if Causal.on () then Causal.set_current x.x_out.o_ctx;
   if not x.x_finished then begin
     (if x.x_out.o_failed then finish_exchange t x (Error (Crashed x.x_dst))
      else begin
@@ -421,7 +435,14 @@ let call_many t ~dsts ?(multicast = false) ?call_no body =
       in
       ignore
         (start_exchange t ~dst ~call_no out (fun result ->
-             Mailbox.send replies { from = dst; result })))
+             (* Ambient here is the context of whatever completed the
+                exchange — the return message's final segment, a
+                reject, or a watchdog giving up — so the caller's vote
+                can parent on the reply's own delivery chain. *)
+             Mailbox.send replies
+               { from = dst;
+                 result;
+                 reply_ctx = (if Causal.on () then Causal.current () else Causal.none) })))
     dsts;
   replies
 
@@ -550,8 +571,14 @@ let deliver_call t ~src ~call_no body =
     | None -> send_segment t ~dst:src (Segment.reject ~call_no)
     | Some handler ->
       (* Server process per incoming call (§3.4.1), on a pooled worker
-         rather than a fresh fiber per call. *)
-      Host.run_pooled t.host ~label:"pairmsg.server" (fun () -> handler ~src ~call_no body)
+         rather than a fresh fiber per call.  Pooled workers are
+         reused, so the delivery context is carried into the task
+         explicitly (covering any stale context from a previous
+         call). *)
+      let cx = if Causal.on () then Causal.current () else Causal.none in
+      Host.run_pooled t.host ~label:"pairmsg.server" (fun () ->
+          if Causal.on () then Causal.set_current cx;
+          handler ~src ~call_no body)
   end
 
 let deliver_return t ~src ~call_no body =
@@ -664,6 +691,10 @@ let demux_loop t () =
         | None -> ()
         | Some dgram -> (
           Syscall.sigblock t.env ~meter:t.meter t.host;
+          (* Adopt the datagram's causal context for everything this
+             segment triggers (reassembly completion, delivery,
+             implicit acks, the ack we send back). *)
+          if Causal.on () then Causal.set_current dgram.Net.ctx;
           match Segment.decode dgram.Net.payload with
           | None -> ()  (* garbled: treated as lost *)
           | Some seg -> handle_segment t ~src:dgram.Net.src seg));

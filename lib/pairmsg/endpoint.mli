@@ -67,7 +67,15 @@ val next_call_no : t -> int32
     allocate identical sequences, which is what lets a server pair up
     the call messages of a replicated call (§4.3.2). *)
 
-type reply = { from : Addr.t; result : (bytes, exn) result }
+type reply = {
+  from : Addr.t;
+  result : (bytes, exn) result;
+  reply_ctx : int;
+      (** {!Circus_trace.Causal.ctx} of whatever completed the
+          exchange (the return's final segment, a reject, or the
+          watchdog giving up); {!Circus_trace.Causal.none} when causal
+          tracing is off. *)
+}
 
 val call_many :
   t -> dsts:Addr.t list -> ?multicast:bool -> ?call_no:int32 -> bytes -> reply Circus_sim.Mailbox.t

@@ -4,6 +4,7 @@ open Circus_pairmsg
 module Codec = Circus_wire.Codec
 module Trace = Circus_trace.Trace
 module Tev = Circus_trace.Event
+module Causal = Circus_trace.Causal
 
 exception Remote_error of string
 exception Stale_binding of Ids.Troupe_id.t
@@ -45,6 +46,10 @@ and m2o = {
   mutable m2o_state : m2o_state;
   mutable m2o_timer : Engine.handle option;
   mutable m2o_expire : float;  (* retention deadline once [Done]; 0 while live *)
+  mutable m2o_ctx : int;
+      (* causal ctx of the most recent member call received; the
+         straggler give-up path executes from an engine timer, whose
+         fiber has no ambient ctx of its own *)
 }
 
 and t = {
@@ -216,6 +221,7 @@ let rec execute t export m2o =
       end
       else None
     in
+    if Causal.on () then ignore (Causal.step ~host:(Host.id t.host) "exec");
     let trace_end ?args () =
       match trace_scope with
       | Some (host, fiber) -> Trace.span_end ~cat:"rpc" ~host ~fiber ?args "execute"
@@ -233,6 +239,7 @@ let rec execute t export m2o =
     trace_end
       ~args:[ ("ok", Tev.Bool (match result with Rpc_msg.Ok_result _ -> true | _ -> false)) ]
       ();
+    if Causal.on () then ignore (Causal.step ~host:(Host.id t.host) "exec_done");
     m2o.m2o_state <- Done result;
     reply_waiters t m2o result;
     (match export.policy with
@@ -386,7 +393,8 @@ let handle_call t ~src ~pair_no (call : Rpc_msg.call) =
               m2o_replied = [];
               m2o_state = Waiting;
               m2o_timer = None;
-              m2o_expire = 0.0 }
+              m2o_expire = 0.0;
+              m2o_ctx = Causal.none }
           in
           Itab.replace t.m2o_table key m2o;
           m2o.m2o_expected <- expected_calls t call.Rpc_msg.client_troupe;
@@ -394,6 +402,10 @@ let handle_call t ~src ~pair_no (call : Rpc_msg.call) =
       in
       if not (List.exists (fun (a, _, _) -> Addr.equal a src) m2o.m2o_received) then
         m2o.m2o_received <- (src, pair_no, call.Rpc_msg.args) :: m2o.m2o_received;
+      if Causal.on () then begin
+        let c = Causal.current () in
+        if c <> Causal.none then m2o.m2o_ctx <- c
+      end;
       check_ready m2o;
       (* Give up on silent client members after a timeout: they have
          probably crashed (§4.3.5).  Armed only if this first call did
@@ -411,6 +423,8 @@ let handle_call t ~src ~pair_no (call : Rpc_msg.call) =
                  if m2o.m2o_state = Waiting then
                    ignore
                      (Host.spawn t.host ~label:"rpc.straggler" (fun () ->
+                          if Causal.on () && m2o.m2o_ctx <> Causal.none then
+                            Causal.set_current m2o.m2o_ctx;
                           execute t export m2o))))
     end
 
@@ -473,8 +487,37 @@ let decode_return body =
   | msg -> Some msg
   | exception Codec.Decode_error _ -> None
 
+(* One "vote" causal event per collected reply.  The preferred parent
+   is the reply's own context (the chain through the server's
+   execution); a reply context carrying a different request id — a
+   stale capture from before tracing was enabled, or a pooled fiber's
+   leftover — falls back to the caller's ambient chain rather than
+   splicing this request onto another's critical path. *)
+let causal_vote t r_ctx =
+  if Causal.on () then begin
+    let amb = Causal.current () in
+    let parent =
+      if
+        r_ctx <> Causal.none
+        && (amb = Causal.none || Causal.req_of r_ctx = Causal.req_of amb)
+      then r_ctx
+      else amb
+    in
+    if parent <> Causal.none then
+      ignore (Causal.step ~parent ~host:(Host.id t.host) "vote")
+  end
+
 let call_troupe_gen ctx (troupe : Troupe.t) ~proc_no ?(multicast = false) args =
   let t = ctx.rt in
+  (* A call site with no ambient context (bench drivers, tests calling
+     straight from a spawned fiber) roots a fresh request here, so
+     every troupe call is attributable even outside the scenario
+     front-end. *)
+  if Causal.on () then begin
+    if Causal.current () = Causal.none then
+      Causal.set_current (Causal.root ~host:(Host.id t.host) "call")
+    else ignore (Causal.step ~host:(Host.id t.host) "call")
+  end;
   let pair_no = Endpoint.next_call_no t.endpoint in
   let call_seq = next_call_seq ctx in
   if Trace.on () then
@@ -498,7 +541,7 @@ let call_troupe_gen ctx (troupe : Troupe.t) ~proc_no ?(multicast = false) args =
   let member_of members from =
     List.find (fun (m : Addr.module_addr) -> Addr.equal m.Addr.process from) members
   in
-  let reply_of members { Endpoint.from; result } =
+  let reply_of members { Endpoint.from; result; _ } =
     let message = match result with Ok body -> decode_return body | Error _ -> None in
     { Collator.from = member_of members from; message }
   in
@@ -524,7 +567,9 @@ let call_troupe_gen ctx (troupe : Troupe.t) ~proc_no ?(multicast = false) args =
       if k = 0 then Seq.Nil
       else
         match Mailbox.recv replies with
-        | Some r -> Seq.Cons (reply_of members r, take (k - 1))
+        | Some r ->
+          causal_vote t r.Endpoint.reply_ctx;
+          Seq.Cons (reply_of members r, take (k - 1))
         | None -> Seq.Nil
     in
     (total, Seq.memoize (take total))
@@ -547,7 +592,7 @@ let call_troupe_gen ctx (troupe : Troupe.t) ~proc_no ?(multicast = false) args =
                List.iter
                  (fun _ ->
                    match Mailbox.recv replies with
-                   | Some r -> Mailbox.send merged (reply_of members r)
+                   | Some r -> Mailbox.send merged (r.Endpoint.reply_ctx, reply_of members r)
                    | None -> ())
                  members)))
       groups;
@@ -555,7 +600,9 @@ let call_troupe_gen ctx (troupe : Troupe.t) ~proc_no ?(multicast = false) args =
       if k = 0 then Seq.Nil
       else
         match Mailbox.recv merged with
-        | Some reply -> Seq.Cons (reply, take (k - 1))
+        | Some (r_ctx, reply) ->
+          causal_vote t r_ctx;
+          Seq.Cons (reply, take (k - 1))
         | None -> Seq.Nil
     in
     (total, Seq.memoize (take total))
@@ -568,6 +615,7 @@ let interpret troupe_id = function
   | Rpc_msg.No_such_module | Rpc_msg.No_such_procedure -> raise Bad_interface
 
 let trace_collate t ~total msg =
+  if Causal.on () then ignore (Causal.step ~host:(Host.id t.host) "collate");
   if Trace.on () then
     Trace.emit ~cat:"rpc" ~host:(Host.id t.host)
       ~args:[ ("kind", Tev.Str (return_kind msg)); ("total", Tev.Int total) ]

@@ -5,6 +5,7 @@ open Circus_binding
 module Metrics = Circus_trace.Metrics
 module Trace = Circus_trace.Trace
 module Event = Circus_trace.Event
+module Causal = Circus_trace.Causal
 module Plan = Circus_fault.Plan
 module Injector = Circus_fault.Injector
 
@@ -67,6 +68,7 @@ type report = {
   metrics : Metrics.t;
   trace_events : Event.t list;
   trace_dropped : int;
+  causal : Causal.analysis option;
 }
 
 (* Aggregate arrivals/s implied by the client population. *)
@@ -139,14 +141,30 @@ let validate spec =
    bound — the overload then reads as crashed peers to pairmsg's
    watchdog. *)
 
-let run ?(domains = 1) ?chaos ?(tracing = false) ?trace_capacity spec =
+let run ?(domains = 1) ?chaos ?(tracing = false) ?trace_capacity ?(causal = false) spec =
   (match validate spec with Ok () -> () | Error m -> invalid_arg ("Scenario.run: " ^ m));
   let lps = spec.lps in
   let traffic_end = spec.warmup +. spec.duration in
   let horizon = traffic_end +. drain in
   let params = { Net.default_params with propagation = 1e-3 } in
   let cluster = Cluster.create ~seed:spec.seed ~params ~lps () in
-  if tracing then Cluster.enable_tracing ?capacity:trace_capacity cluster;
+  let want_trace = tracing || causal in
+  if want_trace then begin
+    (* Attribution only needs the causal category, and a *quiet* sink
+       makes it cheap: [Trace.on ()] reports false, so the firehose
+       instrumentation sites throughout the stack never even build
+       their argument lists, while the causal module's direct emits
+       still record.  An explicit [tracing] keeps every category and a
+       normal (loud) sink, as before. *)
+    let causal_only = causal && not tracing in
+    Cluster.enable_tracing ?capacity:trace_capacity
+      ?cats:(if causal_only then Some [ Causal.cat ] else None)
+      ?quiet:(if causal_only then Some true else None)
+      cluster
+  end;
+  let prev_causal = Causal.on () in
+  Causal.set_enabled causal;
+  if causal then Causal.reset ();
 
   (* --- World layout (main domain; cheap bookkeeping only). --- *)
   let rm_hosts = Array.make_matrix spec.rm_partitions spec.rm_replicas (-1) in
@@ -315,18 +333,28 @@ let run ?(domains = 1) ?chaos ?(tracing = false) ?trace_capacity spec =
            in
            Array.iter
              (fun (crt, sc, q) ->
+               let whost = Host.id (Runtime.host crt) in
                for _w = 1 to spec.pool do
                  ignore
                    (Runtime.spawn_thread crt ~label:"scenario-worker" (fun ctx ->
                         let rec loop () =
                           (match Mailbox.recv ~timeout:0.5 q with
                           | None -> ()
-                          | Some (t0, svc) -> (
+                          | Some (t0, svc, cx) -> (
+                            if Causal.on () then begin
+                              (* Adopt the request's context (clearing
+                                 any leftover from the previous
+                                 request); the pickup step closes the
+                                 queueing interval. *)
+                              Causal.set_current cx;
+                              ignore (Causal.step ~host:whost "pickup")
+                            end;
                             match
                               Shard.call sc ctx ~service:svc ~proc_no:0 ~multicast:true
                                 ~collator:Collator.majority payload
                             with
                             | (_ : bytes) ->
+                              if Causal.on () then ignore (Causal.step ~host:whost "done");
                               Metrics.observe ms "scenario.latency" (Engine.now engine -. t0);
                               Metrics.incr ms "scenario.ok"
                             | exception _ -> Metrics.incr ms "scenario.failed"));
@@ -424,14 +452,15 @@ let run ?(domains = 1) ?chaos ?(tracing = false) ?trace_capacity spec =
            let rec fire at () =
              let svc = pick_service () in
              let cid = Prng.int sprng spec.clients in
+             let fh = Host.id client_hosts.(s).(cid mod spec.frontends) in
              let _, _, q = stacks.(cid mod spec.frontends) in
              Metrics.incr ms "scenario.arrivals";
              if Trace.on () then
-               Trace.emit ~cat:"scenario"
-                 ~host:(Host.id client_hosts.(s).(cid mod spec.frontends))
+               Trace.emit ~cat:"scenario" ~host:fh
                  ~args:[ ("svc", Event.Str svc); ("client", Event.Int cid) ]
                  "arrival";
-             Mailbox.send q (at, svc);
+             let cx = if Causal.on () then Causal.root ~host:fh "arrive" else Causal.none in
+             Mailbox.send q (at, svc, cx);
              match next_arrival () with
              | Some at' -> ignore (Engine.schedule_abs engine ~at:at' (fire at'))
              | None -> ()
@@ -462,11 +491,20 @@ let run ?(domains = 1) ?chaos ?(tracing = false) ?trace_capacity spec =
   in
 
   Cluster.run ~until:horizon ~domains cluster;
+  Causal.set_enabled prev_causal;
 
   (* --- Deterministic aggregation: merge per-shard registries in shard
      order. --- *)
+  let trace_events = if want_trace then Cluster.merged_events cluster else [] in
+  let causal_analysis = if causal then Some (Causal.analyze trace_events) else None in
   let agg = Metrics.create () in
   Array.iter (fun m -> Metrics.merge ~into:agg m) metrics;
+  (* Fold the attribution histograms in so [report_json]'s metrics
+     block carries the per-stage quantiles; the merged event stream is
+     byte-identical at any domain count, hence so is the analysis. *)
+  (match causal_analysis with
+  | Some a -> Metrics.merge ~into:agg (Causal.stage_metrics a)
+  | None -> ());
   let arrivals = Metrics.counter agg "scenario.arrivals" in
   let completed = Metrics.counter agg "scenario.ok" in
   let failed = Metrics.counter agg "scenario.failed" in
@@ -495,8 +533,9 @@ let run ?(domains = 1) ?chaos ?(tracing = false) ?trace_capacity spec =
     net_delivered = stats.Net.delivered;
     net_dropped = stats.Net.dropped;
     metrics = agg;
-    trace_events = (if tracing then Cluster.merged_events cluster else []);
-    trace_dropped = (if tracing then Cluster.merged_dropped cluster else 0) }
+    trace_events;
+    trace_dropped = (if want_trace then Cluster.merged_dropped cluster else 0);
+    causal = causal_analysis }
 
 let arrival_name = function Poisson -> "poisson" | Burst -> "burst" | Diurnal -> "diurnal"
 
@@ -516,10 +555,14 @@ let report_json spec r =
      \"frontends\":%d,\"duration\":%s,\"arrivals\":%d,\"completed\":%d,\"failed\":%d,\"unserved\":%d,\
      \"sustained_rps\":%s,\"availability\":%s,\"p50\":%s,\"p99\":%s,\"p999\":%s,\"mean\":%s,\
      \"chaos_steps\":%d,\"events\":%d,\"net_sent\":%d,\"net_delivered\":%d,\"net_dropped\":%d,\
-     \"metrics\":%s}"
+     \"trace_dropped\":%d,\"metrics\":%s%s}"
     (arrival_name spec.arrival) spec.seed spec.lps spec.hosts spec.troupes spec.replicas
     spec.rm_partitions spec.rm_replicas spec.clients spec.frontends (f spec.duration) r.arrivals
     r.completed
     r.failed r.unserved (f r.sustained_rps) (f r.availability) (f r.p50) (f r.p99) (f r.p999)
     (f r.mean_latency) r.chaos_steps r.events_executed r.net_sent r.net_delivered r.net_dropped
+    r.trace_dropped
     (Metrics.to_json r.metrics)
+    (match r.causal with
+    | Some a -> Printf.sprintf ",\"attribution\":%s" (Causal.attribution_json a)
+    | None -> "")

@@ -63,18 +63,32 @@ type report = {
   net_sent : int;
   net_delivered : int;
   net_dropped : int;
-  metrics : Circus_trace.Metrics.t;  (** merged per-shard registries *)
-  trace_events : Circus_trace.Event.t list;  (** empty unless [tracing] *)
-  trace_dropped : int;
+  metrics : Circus_trace.Metrics.t;
+      (** merged per-shard registries; with [causal] also the
+          ["attr.*"] per-stage attribution histograms *)
+  trace_events : Circus_trace.Event.t list;  (** empty unless [tracing] or [causal] *)
+  trace_dropped : int;  (** events evicted from the per-LP ring sinks *)
+  causal : Circus_trace.Causal.analysis option;
+      (** critical-path latency attribution; [Some] iff [causal] *)
 }
 
-val run : ?domains:int -> ?chaos:int -> ?tracing:bool -> ?trace_capacity:int -> spec -> report
+val run :
+  ?domains:int ->
+  ?chaos:int ->
+  ?tracing:bool ->
+  ?trace_capacity:int ->
+  ?causal:bool ->
+  spec ->
+  report
 (** Build the world and run it to the horizon
     ([warmup + duration + drain]).  [chaos] seeds a
     {!Circus_fault.Plan.random} over the server hosts (Ringmaster and
     client hosts stay up, so the measured degradation is the
-    service's).  Raises [Invalid_argument] if {!validate} rejects the
-    spec. *)
+    service's).  [causal] enables per-request causal tracing
+    (out-of-band contexts, zero wire bytes) and critical-path
+    attribution; unless [tracing] is also set, the trace sinks then
+    keep only the ["causal"]/["scenario"] categories.  Raises
+    [Invalid_argument] if {!validate} rejects the spec. *)
 
 val arrival_name : arrival_kind -> string
 val arrival_of_name : string -> arrival_kind option

@@ -21,6 +21,10 @@ type t = {
      yields to the engine periodically and remains subject to the
      [run ~max_events] runaway guard. *)
   mutable ff_streak : int;
+  (* Ambient causal context ([Circus_trace.Causal.ctx]): which request
+     this fiber is currently working on behalf of.  Per-fiber rather
+     than domain-local so it survives parks/resumes untouched. *)
+  mutable ctx : int;
 }
 
 type _ Effect.t +=
@@ -51,6 +55,24 @@ let[@inline] enter fiber f =
   f ();
   current := prev
 
+(* The running fiber's record is the natural home of the ambient
+   causal context (it must ride across parks and resumes), but
+   [Causal] lives below the simulator in the dependency order — so
+   register accessors over the per-fiber slot, with a domain-local
+   ref standing in when no fiber is executing. *)
+let ambient_fallback : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let () =
+  Circus_trace.Causal.register_ambient
+    ~get:(fun () ->
+      match !(Domain.DLS.get current) with
+      | Some f -> f.ctx
+      | None -> !(Domain.DLS.get ambient_fallback))
+    ~set:(fun c ->
+      match !(Domain.DLS.get current) with
+      | Some f -> f.ctx <- c
+      | None -> Domain.DLS.get ambient_fallback := c)
+
 let default_uncaught fiber e =
   Printf.eprintf "fiber %d (%s): uncaught exception\n%!" fiber.id fiber.label_;
   raise e
@@ -73,7 +95,8 @@ let spawn engine ?(label = "fiber") f =
       state = Running;
       cancel_requested = false;
       terminate_callbacks = [];
-      ff_streak = 0 }
+      ff_streak = 0;
+      ctx = 0 }
   in
   let handler : (unit, unit) Effect.Deep.handler =
     { retc = (fun () -> finish fiber);

@@ -85,12 +85,12 @@ let executed t = Array.fold_left (fun acc (l : Lp.t) -> acc + l.executed) 0 t.lp
 let now t =
   Array.fold_left (fun acc (l : Lp.t) -> Float.max acc (Engine.now l.engine)) 0.0 t.lps
 
-let enable_tracing ?capacity t =
+let enable_tracing ?capacity ?cats ?quiet t =
   t.tracing <- true;
   Array.iter
     (fun (l : Lp.t) ->
       let engine = l.engine in
-      l.sink <- Some (Trace.make_sink ?capacity ~clock:(fun () -> Engine.now engine) ()))
+      l.sink <- Some (Trace.make_sink ?capacity ?cats ?quiet ~clock:(fun () -> Engine.now engine) ()))
     t.lps
 
 let with_lp t i f =

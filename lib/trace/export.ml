@@ -66,12 +66,16 @@ let add_jsonl_event b (e : Event.t) =
   end;
   Buffer.add_string b "}\n"
 
-let jsonl_events events =
+let jsonl_events ?(dropped = 0) events =
   let b = Buffer.create 4096 in
   List.iter (add_jsonl_event b) events;
+  (* Ring overflow is surfaced as a trailer object rather than
+     silently truncating; omitted when nothing was dropped so
+     complete traces keep their historical bytes. *)
+  if dropped > 0 then Buffer.add_string b (Printf.sprintf "{\"dropped\":%d}\n" dropped);
   Buffer.contents b
 
-let jsonl sink = jsonl_events (Trace.sink_events sink)
+let jsonl sink = jsonl_events ~dropped:(Trace.sink_dropped sink) (Trace.sink_events sink)
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace_event *)
@@ -124,6 +128,37 @@ let chrome_events ?(dropped = 0) events =
     (fun e ->
       sep ();
       add_chrome_event b e)
+    events;
+  (* Perfetto flow arrows for causal edges: each causal event whose
+     parent span lives on a different (host, fiber) gets a start/finish
+     flow pair bound by the child's own span id (unique per event), so
+     one request is followable visually across hosts and LPs. *)
+  let by_span : (int, Event.t) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Event.t) ->
+      if String.equal e.cat "causal" then
+        match Event.int_arg e "span" with Some s -> Hashtbl.replace by_span s e | None -> ())
+    events;
+  let add_flow ph (e : Event.t) id =
+    sep ();
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"causal\",\"cat\":\"causal\",\"ph\":\"%s\",%s\"ts\":%s,\"pid\":%d,\"tid\":%d,\"id\":%d}"
+         ph
+         (if ph = "f" then "\"bp\":\"e\"," else "")
+         (micros e.time) (chrome_pid e) (chrome_tid e) id)
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      if String.equal e.cat "causal" then
+        match (Event.int_arg e "parent", Event.int_arg e "span") with
+        | Some p, Some s when p > 0 -> (
+          match Hashtbl.find_opt by_span p with
+          | Some src when chrome_pid src <> chrome_pid e || chrome_tid src <> chrome_tid e ->
+            add_flow "s" src s;
+            add_flow "f" e s
+          | _ -> ())
+        | _ -> ())
     events;
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
   Buffer.add_string b (string_of_int dropped);

@@ -6,7 +6,8 @@ val jsonl : Trace.sink -> string
 val chrome : Trace.sink -> string
 (** Chrome [trace_event] JSON, loadable in Perfetto
     ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or about://tracing.
-    Hosts map to processes, fibers to threads. *)
+    Hosts map to processes, fibers to threads; causal events whose
+    parent lives on another host/fiber get flow arrows. *)
 
 val jsonl_to_file : Trace.sink -> string -> unit
 val chrome_to_file : Trace.sink -> string -> unit
@@ -17,5 +18,9 @@ val chrome_to_file : Trace.sink -> string -> unit
     outside a single sink — e.g. the parallel engine's per-LP traces
     merged into one deterministic stream. *)
 
-val jsonl_events : Event.t list -> string
+val jsonl_events : ?dropped:int -> Event.t list -> string
+(** [dropped] > 0 appends a final [{"dropped":N}] trailer line so ring
+    overflow is visible instead of silently truncating; complete
+    traces render exactly as before. *)
+
 val chrome_events : ?dropped:int -> Event.t list -> string

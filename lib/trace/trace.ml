@@ -30,18 +30,25 @@ type sink = {
   ring : Event.t Ring.t;
   metrics : Metrics.t;
   clock : unit -> float;
+  cats : string list option;  (* record only these categories when Some *)
+  quiet : bool;
+      (* [on ()] reports false: sites that guard with [if Trace.on ()]
+         skip entirely (no argument lists built, no filtered emits),
+         while direct [emit] calls — the causal instrumentation — still
+         record.  This is what makes causal-only attribution cheap:
+         the firehose instrumentation never wakes up. *)
   mutable seq : int;
 }
 
 let slot : sink option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
 let[@inline] on () =
-  match !(Domain.DLS.get slot) with Some _ -> true | None -> false
+  match !(Domain.DLS.get slot) with Some s -> not s.quiet | None -> false
 
 let default_capacity = 65_536
 
-let make_sink ?(capacity = default_capacity) ~clock () =
-  { ring = Ring.create ~capacity; metrics = Metrics.create (); clock; seq = 0 }
+let make_sink ?(capacity = default_capacity) ?cats ?(quiet = false) ~clock () =
+  { ring = Ring.create ~capacity; metrics = Metrics.create (); clock; cats; quiet; seq = 0 }
 
 let use s = Domain.DLS.get slot := s
 
@@ -49,7 +56,7 @@ let install sink =
   use (Some sink);
   sink
 
-let start ?capacity ~clock () = install (make_sink ?capacity ~clock ())
+let start ?capacity ?cats ?quiet ~clock () = install (make_sink ?capacity ?cats ?quiet ~clock ())
 let stop () = use None
 let active () = !(Domain.DLS.get slot)
 let with_sink f = match !(Domain.DLS.get slot) with Some s -> f s | None -> ()
@@ -59,10 +66,15 @@ let with_sink f = match !(Domain.DLS.get slot) with Some s -> f s | None -> ()
 
 let emit ?(phase = Event.Instant) ?(host = -1) ?(fiber = -1) ?(args = []) ~cat name =
   with_sink (fun s ->
-      let seq = s.seq in
-      s.seq <- seq + 1;
-      Ring.push s.ring
-        (Event.make ~seq ~time:(s.clock ()) ~cat ~name ~phase ~host ~fiber ~args))
+      let keep =
+        match s.cats with None -> true | Some cs -> List.exists (String.equal cat) cs
+      in
+      if keep then begin
+        let seq = s.seq in
+        s.seq <- seq + 1;
+        Ring.push s.ring
+          (Event.make ~seq ~time:(s.clock ()) ~cat ~name ~phase ~host ~fiber ~args)
+      end)
 
 let span_begin ?host ?fiber ?args ~cat name = emit ~phase:Event.Begin ?host ?fiber ?args ~cat name
 let span_end ?host ?fiber ?args ~cat name = emit ~phase:Event.End ?host ?fiber ?args ~cat name
@@ -152,6 +164,29 @@ module Expect = struct
         if after e && not !seen_before then
           fail "event %s occurred before any enabling event"
             (Format.asprintf "%a" Event.pp e))
+      (events ())
+
+  (* Every event matching [after] must be preceded by an event
+     matching [before] *on the same request* — both must carry a
+     "req" int arg (as causal events do).  An event matching both
+     predicates does not enable itself. *)
+  let follows ~before ~after () =
+    let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        (if after e then
+           match Event.int_arg e "req" with
+           | None ->
+             fail "follows: event %s carries no req arg" (Format.asprintf "%a" Event.pp e)
+           | Some r ->
+             if not (Hashtbl.mem seen r) then
+               fail "event %s has no causal predecessor on req %d"
+                 (Format.asprintf "%a" Event.pp e)
+                 r);
+        if before e then
+          match Event.int_arg e "req" with
+          | Some r -> Hashtbl.replace seen r ()
+          | None -> ())
       (events ())
 
   (* Begin/End events must balance per (host, fiber) scope and match by

@@ -21,16 +21,22 @@ type sink
 val on : unit -> bool
 (** True iff a sink is installed and recording on the calling domain. *)
 
-val start : ?capacity:int -> clock:(unit -> float) -> unit -> sink
+val start :
+  ?capacity:int -> ?cats:string list -> ?quiet:bool -> clock:(unit -> float) -> unit -> sink
 (** Install a fresh sink on the calling domain.  [clock] supplies event
     timestamps — pass the simulation clock, never wall time.
     [capacity] is the ring size in events (default 65536); on overflow
-    the oldest events are overwritten and counted in {!dropped}. *)
+    the oldest events are overwritten and counted in {!dropped}.
+    [cats] restricts recording to the named categories (filtered
+    events consume neither ring space nor sequence numbers) — the
+    attribution pipeline uses this to keep full causal chains inside a
+    bounded ring. *)
 
 val stop : unit -> unit
 val active : unit -> sink option
 
-val make_sink : ?capacity:int -> clock:(unit -> float) -> unit -> sink
+val make_sink :
+  ?capacity:int -> ?cats:string list -> ?quiet:bool -> clock:(unit -> float) -> unit -> sink
 (** Build a sink without installing it anywhere — {!start} is
     [make_sink] + {!use}.  The parallel engine creates one per logical
     process and installs it on whichever domain runs that LP. *)
@@ -108,6 +114,11 @@ module Expect : sig
 
   val ordered : before:(Event.t -> bool) -> after:(Event.t -> bool) -> unit -> unit
   (** Every [after] event must be preceded by some [before] event. *)
+
+  val follows : before:(Event.t -> bool) -> after:(Event.t -> bool) -> unit -> unit
+  (** Causal variant of {!ordered}: every [after] event must be
+      preceded by a [before] event carrying the same ["req"] arg
+      (request id), as {!Causal} events do. *)
 
   val well_nested : unit -> unit
   (** Begin/End events balance per (host, fiber) scope. *)
